@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks of query aggregation: merging queries into
+//! covering queries and post-extracting results — the machinery that
+//! keeps "the number of active queries minimal" (§4.3).
+//!
+//! Measured through the public Facade behaviour: submitting N mergeable
+//! queries to a factory over instant mock references.
+
+use contory::query::CxtQuery;
+use contory::refs::{AdHocSpec, BtReference, Done, ItemsResult, OnItems, OnRefError, RefError, StreamHandle};
+use contory::{CollectingClient, ContextFactory, CxtItem, CxtValue, FactoryConfig, SourceId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::{Sim, SimDuration, SimTime};
+use std::hint::black_box;
+use std::rc::Rc;
+
+/// A BT reference that answers rounds instantly (isolates middleware
+/// cost from radio latency).
+struct InstantBt {
+    sim: Sim,
+}
+
+impl BtReference for InstantBt {
+    fn is_available(&self) -> bool {
+        true
+    }
+    fn discover_sensor(&self, _t: &str, cb: Done<Result<SourceId, RefError>>) {
+        cb(Err(RefError::NotFound("none".into())));
+    }
+    fn open_sensor_stream(
+        &self,
+        _s: &SourceId,
+        _t: &str,
+        _oi: OnItems,
+        _oe: OnRefError,
+        cb: Done<Result<StreamHandle, RefError>>,
+    ) {
+        cb(Err(RefError::NotFound("none".into())));
+    }
+    fn close_sensor_stream(&self, _h: StreamHandle) {}
+    fn adhoc_round(&self, spec: &AdHocSpec, cb: Done<ItemsResult>) {
+        let item = CxtItem::new(spec.cxt_type.clone(), CxtValue::number(20.0), self.sim.now())
+            .with_accuracy(0.1);
+        self.sim.schedule_in(SimDuration::from_micros(1), move || cb(Ok(vec![item])));
+    }
+    fn adhoc_subscribe(
+        &self,
+        spec: &AdHocSpec,
+        period: SimDuration,
+        on_items: OnItems,
+        _on_error: OnRefError,
+    ) -> StreamHandle {
+        let sim = self.sim.clone();
+        let cxt_type = spec.cxt_type.clone();
+        self.sim.schedule_repeating(period, move || {
+            on_items(vec![CxtItem::new(
+                cxt_type.clone(),
+                CxtValue::number(20.0),
+                sim.now(),
+            )
+            .with_accuracy(0.1)]);
+            true
+        });
+        StreamHandle(1)
+    }
+    fn adhoc_unsubscribe(&self, _h: StreamHandle) {}
+    fn publish(&self, _i: &CxtItem, _k: Option<String>, cb: Done<Result<(), RefError>>) {
+        cb(Ok(()));
+    }
+    fn unpublish(&self, _t: &str) {}
+}
+
+fn factory_with_instant_bt(sim: &Sim) -> ContextFactory {
+    let refs = contory::refs::References {
+        internal: None,
+        bt: Some(Rc::new(InstantBt { sim: sim.clone() })),
+        wifi: None,
+        cell: None,
+    };
+    ContextFactory::new(sim, refs, FactoryConfig::default())
+}
+
+fn bench_submit_mergeable(c: &mut Criterion) {
+    c.bench_function("submit_8_mergeable_queries", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let factory = factory_with_instant_bt(&sim);
+            let client = Rc::new(CollectingClient::new());
+            for i in 0..8 {
+                let q = CxtQuery::parse(&format!(
+                    "SELECT temperature FROM adHocNetwork(all,1) FRESHNESS {} sec \
+                     DURATION 1 hour EVERY {} sec",
+                    10 + i,
+                    15 + i
+                ))
+                .unwrap();
+                factory.process_cxt_query(q, client.clone()).unwrap();
+            }
+            black_box(factory.active_queries())
+        })
+    });
+}
+
+fn bench_merged_delivery(c: &mut Criterion) {
+    c.bench_function("deliver_through_8_member_merge", |b| {
+        let sim = Sim::new();
+        let factory = factory_with_instant_bt(&sim);
+        let client = Rc::new(CollectingClient::new());
+        for i in 0..8 {
+            let q = CxtQuery::parse(&format!(
+                "SELECT temperature FROM adHocNetwork(all,1) DURATION 10 hour EVERY {} sec",
+                15 + i
+            ))
+            .unwrap();
+            factory.process_cxt_query(q, client.clone()).unwrap();
+        }
+        let mut horizon = SimTime::from_secs(60);
+        b.iter(|| {
+            sim.run_until(horizon);
+            horizon = horizon + SimDuration::from_secs(60);
+            black_box(client.all_items().len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_submit_mergeable, bench_merged_delivery);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion benchmarks of whole provisioning rounds: wall-clock cost of
+//! simulating each mechanism end-to-end (how fast the *simulator* runs,
+//! complementing the virtual-time results of the table binaries).
+
+use contory::refs::{AdHocSpec, BtReference, WifiReference};
+use contory::{CxtItem, CxtValue};
+use criterion::{criterion_group, criterion_main, Criterion};
+use radio::Position;
+use simkit::SimDuration;
+use testbed::{PhoneSetup, Testbed};
+use std::cell::Cell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn item(now: simkit::SimTime) -> CxtItem {
+    CxtItem::new("light", CxtValue::quantity(740.5, "lux"), now).with_accuracy(1.0)
+}
+
+fn bench_bt_round(c: &mut Criterion) {
+    let tb = Testbed::with_seed(900);
+    let requester = tb.add_phone(PhoneSetup {
+        metered: false,
+        ..PhoneSetup::nokia6630("req", Position::new(0.0, 0.0))
+    });
+    let provider = tb.add_phone(PhoneSetup {
+        metered: false,
+        ..PhoneSetup::nokia6630("prov", Position::new(5.0, 0.0))
+    });
+    provider.factory().register_cxt_server("bench");
+    provider
+        .factory()
+        .publish_cxt_item(item(tb.sim.now()), None)
+        .unwrap();
+    tb.sim.run_for(SimDuration::from_secs(1));
+    let bt = requester.bt_reference();
+    // Warm the peer cache once.
+    run_round(&tb, &*bt);
+    c.bench_function("simulate_bt_one_hop_round", |b| {
+        b.iter(|| black_box(run_round(&tb, &*bt)))
+    });
+}
+
+fn run_round(tb: &Testbed, bt: &dyn BtReference) -> usize {
+    let done = Rc::new(Cell::new(0usize));
+    let d = done.clone();
+    bt.adhoc_round(
+        &AdHocSpec::one_hop("light"),
+        Box::new(move |res| d.set(res.map(|v| v.len()).unwrap_or(0))),
+    );
+    tb.sim.run_for(SimDuration::from_secs(10));
+    done.get()
+}
+
+fn bench_wifi_two_hop_round(c: &mut Criterion) {
+    let tb = Testbed::with_seed(901);
+    let requester = tb.add_phone(PhoneSetup::nokia9500("c0", Position::new(0.0, 0.0)));
+    let _relay = tb.add_phone(PhoneSetup::nokia9500("c1", Position::new(80.0, 0.0)));
+    let far = tb.add_phone(PhoneSetup::nokia9500("c2", Position::new(160.0, 0.0)));
+    tb.sim.run_for(SimDuration::from_secs(40));
+    far.factory().register_cxt_server("bench");
+    far.factory()
+        .publish_cxt_item(item(tb.sim.now()), None)
+        .unwrap();
+    tb.sim.run_for(SimDuration::from_secs(1));
+    let wifi = requester.wifi_reference().unwrap();
+    let spec = AdHocSpec {
+        num_hops: 2,
+        ..AdHocSpec::one_hop("light")
+    };
+    c.bench_function("simulate_wifi_two_hop_round", |b| {
+        b.iter(|| {
+            let done = Rc::new(Cell::new(0usize));
+            let d = done.clone();
+            wifi.adhoc_round(
+                &spec,
+                Box::new(move |res| d.set(res.map(|v| v.len()).unwrap_or(0))),
+            );
+            tb.sim.run_for(SimDuration::from_secs(10));
+            black_box(done.get())
+        })
+    });
+}
+
+fn bench_full_fig5_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    group.bench_function("simulate_fig5_520s", |b| {
+        b.iter(|| {
+            let tb = Testbed::with_seed(902);
+            let phone = tb.add_phone(PhoneSetup {
+                metered: false,
+                ..PhoneSetup::nokia6630("sailor", Position::new(0.0, 0.0))
+            });
+            let gps = tb.add_bt_gps(Position::new(2.0, 0.0), SimDuration::from_secs(5));
+            let client = Rc::new(contory::CollectingClient::new());
+            phone
+                .submit(
+                    "SELECT location FROM intSensor DURATION 2 hour EVERY 5 sec",
+                    client.clone(),
+                )
+                .unwrap();
+            let g = gps.clone();
+            tb.sim
+                .schedule_at(simkit::SimTime::from_secs(155), move || g.set_powered(false));
+            let g = gps.clone();
+            tb.sim
+                .schedule_at(simkit::SimTime::from_secs(330), move || g.set_powered(true));
+            tb.sim.run_until(simkit::SimTime::from_secs(520));
+            black_box(client.all_items().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bt_round, bench_wifi_two_hop_round, bench_full_fig5_scenario);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the query language (wall-clock cost of
+//! the Rust implementation; the paper-comparable latencies live in the
+//! `table1_latency` binary).
+
+use contory::query::{CxtQuery, NumNodes, QueryBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const PAPER_QUERY: &str = "SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 \
+                           FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25";
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_paper_query", |b| {
+        b.iter(|| CxtQuery::parse(black_box(PAPER_QUERY)).unwrap())
+    });
+    c.bench_function("parse_minimal_query", |b| {
+        b.iter(|| CxtQuery::parse(black_box("SELECT location DURATION 50 samples")).unwrap())
+    });
+}
+
+fn bench_display(c: &mut Criterion) {
+    let q = CxtQuery::parse(PAPER_QUERY).unwrap();
+    c.bench_function("render_query", |b| b.iter(|| black_box(&q).to_string()));
+}
+
+fn bench_builder(c: &mut Criterion) {
+    c.bench_function("build_query", |b| {
+        b.iter(|| {
+            QueryBuilder::select(black_box("temperature"))
+                .from_adhoc(NumNodes::First(10), 3)
+                .where_numeric("accuracy", contory::query::CmpOp::Eq, 0.2)
+                .freshness(simkit::SimDuration::from_secs(30))
+                .duration(simkit::SimDuration::from_hours(1))
+                .event_avg_above("temperature", 25.0)
+                .build()
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_display, bench_builder);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the Smart Messages tag space — the
+//! hashtable whose cheapness explains Table 1's 0.13 ms WiFi publish.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::{SimDuration, SimTime};
+use smartmsg::{Tag, TagSpace, TagValue};
+use std::hint::black_box;
+
+fn bench_publish(c: &mut Criterion) {
+    c.bench_function("tagspace_publish", |b| {
+        let mut ts = TagSpace::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ts.publish(Tag::new(
+                format!("tag-{}", i % 64),
+                TagValue::text("14.0C,0.2,trusted"),
+                SimTime::from_millis(i),
+            ))
+        });
+    });
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut ts = TagSpace::new();
+    for i in 0..64 {
+        ts.publish(
+            Tag::new(
+                format!("tag-{i}"),
+                TagValue::text("value"),
+                SimTime::ZERO,
+            )
+            .with_lifetime(SimDuration::from_hours(1)),
+        );
+    }
+    c.bench_function("tagspace_read_hit", |b| {
+        b.iter(|| black_box(ts.read(black_box("tag-31"), SimTime::from_secs(1), None)))
+    });
+    c.bench_function("tagspace_read_miss", |b| {
+        b.iter(|| black_box(ts.read(black_box("missing"), SimTime::from_secs(1), None)))
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    c.bench_function("tagspace_sweep_64", |b| {
+        b.iter_batched(
+            || {
+                let mut ts = TagSpace::new();
+                for i in 0..64 {
+                    ts.publish(
+                        Tag::new(format!("tag-{i}"), TagValue::text("v"), SimTime::ZERO)
+                            .with_lifetime(SimDuration::from_secs(i)),
+                    );
+                }
+                ts
+            },
+            |mut ts| {
+                ts.sweep(SimTime::from_secs(32));
+                ts
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_publish, bench_read, bench_sweep);
+criterion_main!(benches);

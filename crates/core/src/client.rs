@@ -1,0 +1,195 @@
+//! The application-facing Client interface (§4.4).
+//!
+//! "To interact with Contory, an application needs to implement a Client
+//! interface": item delivery, error signalling, and the access-control
+//! decision hook.
+
+use crate::factory::QueryId;
+use crate::item::CxtItem;
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// Callbacks every Contory application implements.
+pub trait Client {
+    /// Handles a collected context item for one of the client's queries
+    /// (`receiveCxtItem`).
+    fn receive_cxt_item(&self, query: QueryId, item: CxtItem);
+
+    /// Called by Contory modules on malfunction or failure
+    /// (`informError`).
+    fn inform_error(&self, message: &str);
+
+    /// Invoked by the AccessController to grant or block interaction with
+    /// a new external entity (`makeDecision`). Defaults to blocking.
+    fn make_decision(&self, message: &str) -> bool {
+        let _ = message;
+        false
+    }
+}
+
+/// Everything a [`CollectingClient`] has observed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientEvent {
+    /// An item arrived for a query.
+    Item(QueryId, CxtItem),
+    /// Contory reported an error.
+    Error(String),
+    /// The access controller asked for a decision (with the answer given).
+    Decision(String, bool),
+}
+
+/// A [`Client`] that records everything — the workhorse of the examples
+/// and tests.
+///
+/// ```
+/// use contory::{Client, CollectingClient, CxtItem, CxtValue, QueryId};
+/// use simkit::SimTime;
+///
+/// let client = CollectingClient::new();
+/// client.receive_cxt_item(
+///     QueryId(1),
+///     CxtItem::new("temperature", CxtValue::number(14.0), SimTime::ZERO),
+/// );
+/// assert_eq!(client.items_for(QueryId(1)).len(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct CollectingClient {
+    events: Rc<RefCell<Vec<ClientEvent>>>,
+    decision: Rc<Cell<bool>>,
+}
+
+impl CollectingClient {
+    /// Creates a client that answers `false` to decisions.
+    pub fn new() -> Self {
+        CollectingClient::default()
+    }
+
+    /// Sets the answer [`Client::make_decision`] will give.
+    pub fn set_decision(&self, allow: bool) {
+        self.decision.set(allow);
+    }
+
+    /// Everything observed so far, in order.
+    pub fn events(&self) -> Vec<ClientEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Items received for one query, in order.
+    pub fn items_for(&self, query: QueryId) -> Vec<CxtItem> {
+        self.events
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                ClientEvent::Item(q, item) if *q == query => Some(item.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All items received, regardless of query.
+    pub fn all_items(&self) -> Vec<CxtItem> {
+        self.events
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                ClientEvent::Item(_, item) => Some(item.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Errors reported so far.
+    pub fn errors(&self) -> Vec<String> {
+        self.events
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                ClientEvent::Error(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+}
+
+impl Client for CollectingClient {
+    fn receive_cxt_item(&self, query: QueryId, item: CxtItem) {
+        self.events.borrow_mut().push(ClientEvent::Item(query, item));
+    }
+
+    fn inform_error(&self, message: &str) {
+        self.events
+            .borrow_mut()
+            .push(ClientEvent::Error(message.to_owned()));
+    }
+
+    fn make_decision(&self, message: &str) -> bool {
+        let answer = self.decision.get();
+        self.events
+            .borrow_mut()
+            .push(ClientEvent::Decision(message.to_owned(), answer));
+        answer
+    }
+}
+
+impl fmt::Debug for CollectingClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollectingClient")
+            .field("events", &self.events.borrow().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::CxtValue;
+    use simkit::SimTime;
+
+    #[test]
+    fn records_items_per_query() {
+        let c = CollectingClient::new();
+        let item = CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO);
+        c.receive_cxt_item(QueryId(1), item.clone());
+        c.receive_cxt_item(QueryId(2), item.clone());
+        assert_eq!(c.items_for(QueryId(1)).len(), 1);
+        assert_eq!(c.items_for(QueryId(9)).len(), 0);
+        assert_eq!(c.all_items().len(), 2);
+    }
+
+    #[test]
+    fn records_errors_and_decisions() {
+        let c = CollectingClient::new();
+        c.inform_error("gps lost");
+        assert_eq!(c.errors(), vec!["gps lost".to_owned()]);
+        assert!(!c.make_decision("allow boat-3?"));
+        c.set_decision(true);
+        assert!(c.make_decision("allow boat-4?"));
+        assert_eq!(c.events().len(), 3);
+        c.clear();
+        assert!(c.events().is_empty());
+    }
+
+    #[test]
+    fn default_decision_is_block() {
+        struct Minimal;
+        impl Client for Minimal {
+            fn receive_cxt_item(&self, _q: QueryId, _i: CxtItem) {}
+            fn inform_error(&self, _m: &str) {}
+        }
+        assert!(!Minimal.make_decision("anything"));
+    }
+
+    #[test]
+    fn clones_share_the_event_log() {
+        let c = CollectingClient::new();
+        let c2 = c.clone();
+        c2.inform_error("x");
+        assert_eq!(c.errors().len(), 1);
+    }
+}

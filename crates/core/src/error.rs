@@ -1,0 +1,75 @@
+//! Crate-level error type.
+
+use crate::query::ParseQueryError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the Contory public API.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ContoryError {
+    /// The query text failed to parse.
+    Parse(ParseQueryError),
+    /// No provisioning mechanism can serve the query right now.
+    NoMechanism {
+        /// Context type that could not be provisioned.
+        cxt_type: String,
+        /// Why every candidate was rejected.
+        reason: String,
+    },
+    /// The referenced query is not active.
+    UnknownQuery(u64),
+    /// The access controller blocked the interaction.
+    AccessDenied(String),
+    /// A reference (communication module) failed.
+    Reference(String),
+    /// Operation requires a capability the platform lacks.
+    Unsupported(String),
+}
+
+impl fmt::Display for ContoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContoryError::Parse(e) => write!(f, "{e}"),
+            ContoryError::NoMechanism { cxt_type, reason } => {
+                write!(f, "no mechanism can provision '{cxt_type}': {reason}")
+            }
+            ContoryError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            ContoryError::AccessDenied(who) => write!(f, "access denied for {who}"),
+            ContoryError::Reference(msg) => write!(f, "reference failure: {msg}"),
+            ContoryError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl Error for ContoryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ContoryError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseQueryError> for ContoryError {
+    fn from(e: ParseQueryError) -> Self {
+        ContoryError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: ContoryError = crate::query::CxtQuery::parse("nonsense").unwrap_err().into();
+        assert!(e.to_string().contains("parse error"));
+        assert!(Error::source(&e).is_some());
+        let e = ContoryError::NoMechanism {
+            cxt_type: "temperature".into(),
+            reason: "all radios down".into(),
+        };
+        assert!(e.to_string().contains("temperature"));
+        assert!(Error::source(&e).is_none());
+    }
+}

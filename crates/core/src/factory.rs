@@ -1,0 +1,847 @@
+//! The ContextFactory (§4.3): the core of the architecture.
+//!
+//! One ContextFactory is instantiated per device and shared by all
+//! applications. It exposes the paper's `ContextFactory` interface
+//! (submit/cancel queries, publish/store items, register publishers),
+//! assigns queries to per-mechanism [`Facade`]s based on the FROM clause,
+//! sensor availability and the active control policies, and enforces the
+//! reconfiguration strategy when the [`ResourcesMonitor`] or a provider
+//! reports a failure — e.g. moving location provisioning from a
+//! `LocalLocationProvider` to an `AdHocLocationProvider` when the BT-GPS
+//! disconnects (the paper's Fig. 5), and back once the sensor recovers.
+
+use crate::access::{AccessController, SecurityMode};
+use crate::client::Client;
+use crate::error::ContoryError;
+use crate::facade::Facade;
+use crate::item::CxtItem;
+use crate::manager::{QueryManager, QueryRecord};
+use crate::monitor::{ResourceEvent, ResourcesMonitor};
+use crate::policy::{ContextRule, RuleAction, RuleValue};
+use crate::providers::adhoc::{AdHocCxtProvider, AdHocFlavor};
+use crate::providers::infra::InfraCxtProvider;
+use crate::providers::local::LocalCxtProvider;
+use crate::publisher::CxtPublisher;
+use crate::query::{CxtQuery, DurationClause, Source};
+use crate::refs::{RefError, RefKind, References};
+use crate::repository::CxtRepository;
+use simkit::{Sim, SimDuration};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of a submitted context query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A concrete provisioning mechanism a query can ride.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mechanism {
+    /// Internal/attached sensor provisioning.
+    IntSensor,
+    /// Ad hoc provisioning over Bluetooth (one hop).
+    AdHocBt,
+    /// Ad hoc provisioning over WiFi (multi-hop Smart Messages).
+    AdHocWifi,
+    /// External infrastructure over 2G/3G.
+    Infra,
+}
+
+impl Mechanism {
+    /// The communication module this mechanism depends on.
+    pub fn kind(self) -> RefKind {
+        match self {
+            Mechanism::IntSensor => RefKind::Bt, // BT-attached sensors dominate
+            Mechanism::AdHocBt => RefKind::Bt,
+            Mechanism::AdHocWifi => RefKind::Wifi,
+            Mechanism::Infra => RefKind::Cell,
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mechanism::IntSensor => "intSensor",
+            Mechanism::AdHocBt => "adHocNetwork/BT",
+            Mechanism::AdHocWifi => "adHocNetwork/WiFi",
+            Mechanism::Infra => "extInfra",
+        })
+    }
+}
+
+/// Factory configuration.
+#[derive(Clone, Debug)]
+pub struct FactoryConfig {
+    /// Access-control posture.
+    pub security: SecurityMode,
+    /// Local repository capacity per context type.
+    pub repo_capacity: usize,
+    /// Access-controller known-source capacity.
+    pub access_capacity: usize,
+    /// How often to probe a failed preferred mechanism for recovery.
+    pub recovery_probe: SimDuration,
+    /// Whether publishers must register before publishing (§4.4).
+    pub require_registration: bool,
+}
+
+impl Default for FactoryConfig {
+    fn default() -> Self {
+        FactoryConfig {
+            security: SecurityMode::Low,
+            repo_capacity: 32,
+            access_capacity: 64,
+            recovery_probe: SimDuration::from_secs(30),
+            require_registration: true,
+        }
+    }
+}
+
+struct Inner {
+    sim: Sim,
+    refs: References,
+    config: FactoryConfig,
+    monitor: ResourcesMonitor,
+    access: AccessController,
+    repo: CxtRepository,
+    publisher: CxtPublisher,
+    manager: QueryManager,
+    facades: BTreeMap<Mechanism, Facade>,
+    rules: Vec<ContextRule>,
+    next_query: u64,
+    registered_servers: BTreeSet<String>,
+    probes_in_flight: BTreeSet<QueryId>,
+    prev_actions: Vec<RuleAction>,
+}
+
+/// The device's context factory. Cloneable handle; create one per device.
+#[derive(Clone)]
+pub struct ContextFactory {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl ContextFactory {
+    /// Builds a factory over the device's references.
+    pub fn new(sim: &Sim, refs: References, config: FactoryConfig) -> Self {
+        let monitor = ResourcesMonitor::new();
+        let access = AccessController::new(config.security, config.access_capacity);
+        let repo = CxtRepository::new(config.repo_capacity);
+        if let Some(cell) = &refs.cell {
+            repo.set_remote(cell.clone());
+        }
+        let publisher = CxtPublisher::new(refs.bt.clone(), refs.wifi.clone());
+        let factory = ContextFactory {
+            inner: Rc::new(RefCell::new(Inner {
+                sim: sim.clone(),
+                refs,
+                config,
+                monitor: monitor.clone(),
+                access,
+                repo,
+                publisher,
+                manager: QueryManager::new(),
+                facades: BTreeMap::new(),
+                rules: Vec::new(),
+                next_query: 0,
+                registered_servers: BTreeSet::new(),
+                probes_in_flight: BTreeSet::new(),
+                prev_actions: Vec::new(),
+            })),
+        };
+        factory.build_facades();
+        // Monitor events drive policy enforcement and reconfiguration.
+        {
+            let weak = Rc::downgrade(&factory.inner);
+            monitor.on_event(move |event| {
+                if let Some(inner) = weak.upgrade() {
+                    let f = ContextFactory { inner };
+                    f.enforce_policies();
+                    if let ResourceEvent::RefFailed { kind, .. } = event {
+                        f.reassign_kind(*kind);
+                    }
+                }
+            });
+        }
+        factory
+    }
+
+    fn build_facades(&self) {
+        let (sim, refs) = {
+            let inner = self.inner.borrow();
+            (inner.sim.clone(), inner.refs.clone())
+        };
+        let mut facades = BTreeMap::new();
+        // intSensor facade exists when any sensor path exists.
+        if refs.internal.is_some() || refs.bt.is_some() {
+            facades.insert(
+                Mechanism::IntSensor,
+                self.make_facade(Mechanism::IntSensor, {
+                    let sim = sim.clone();
+                    let internal = refs.internal.clone();
+                    let bt = refs.bt.clone();
+                    Rc::new(move |query: &CxtQuery, sink, on_failure| {
+                        Ok(Box::new(LocalCxtProvider::new(
+                            &sim,
+                            internal.clone(),
+                            bt.clone(),
+                            query.clone(),
+                            sink,
+                            on_failure,
+                        )) as Box<dyn crate::providers::CxtProvider>)
+                    })
+                }),
+            );
+        }
+        if let Some(bt) = refs.bt.clone() {
+            facades.insert(
+                Mechanism::AdHocBt,
+                self.make_facade(Mechanism::AdHocBt, {
+                    let sim = sim.clone();
+                    Rc::new(move |query: &CxtQuery, sink, on_failure| {
+                        Ok(Box::new(AdHocCxtProvider::new(
+                            &sim,
+                            AdHocFlavor::Bt,
+                            Some(bt.clone()),
+                            None,
+                            query.clone(),
+                            sink,
+                            on_failure,
+                        )) as Box<dyn crate::providers::CxtProvider>)
+                    })
+                }),
+            );
+        }
+        if let Some(wifi) = refs.wifi.clone() {
+            facades.insert(
+                Mechanism::AdHocWifi,
+                self.make_facade(Mechanism::AdHocWifi, {
+                    let sim = sim.clone();
+                    Rc::new(move |query: &CxtQuery, sink, on_failure| {
+                        Ok(Box::new(AdHocCxtProvider::new(
+                            &sim,
+                            AdHocFlavor::Wifi,
+                            None,
+                            Some(wifi.clone()),
+                            query.clone(),
+                            sink,
+                            on_failure,
+                        )) as Box<dyn crate::providers::CxtProvider>)
+                    })
+                }),
+            );
+        }
+        if let Some(cell) = refs.cell.clone() {
+            facades.insert(
+                Mechanism::Infra,
+                self.make_facade(Mechanism::Infra, {
+                    let sim = sim.clone();
+                    Rc::new(move |query: &CxtQuery, sink, on_failure| {
+                        Ok(Box::new(InfraCxtProvider::new(
+                            &sim,
+                            cell.clone(),
+                            query.clone(),
+                            sink,
+                            on_failure,
+                        )) as Box<dyn crate::providers::CxtProvider>)
+                    })
+                }),
+            );
+        }
+        self.inner.borrow_mut().facades = facades;
+    }
+
+    fn make_facade(
+        &self,
+        mechanism: Mechanism,
+        make_provider: crate::facade::ProviderFactory,
+    ) -> Facade {
+        let weak = Rc::downgrade(&self.inner);
+        let sim = self.inner.borrow().sim.clone();
+        let deliver = {
+            let weak = weak.clone();
+            Rc::new(move |id: QueryId, items: Vec<CxtItem>| {
+                if let Some(inner) = weak.upgrade() {
+                    let (manager, repo, access) = {
+                        let i = inner.borrow();
+                        (i.manager.clone(), i.repo.clone(), i.access.clone())
+                    };
+                    // Access control: every external source is vetted; in
+                    // high-security mode, unknown sources are granted or
+                    // blocked by the owning application's makeDecision.
+                    let client = manager.client_of(id);
+                    let items: Vec<CxtItem> = items
+                        .into_iter()
+                        .filter(|item| match (&item.source, &client) {
+                            (Some(source), Some(client)) => {
+                                let client = client.clone();
+                                let ask = move |s: &crate::item::SourceId| {
+                                    client.make_decision(&format!(
+                                        "allow context source {s}?"
+                                    ))
+                                };
+                                access.check_with(source, Some(&ask))
+                                    == crate::access::AccessDecision::Granted
+                            }
+                            _ => true,
+                        })
+                        .collect();
+                    if items.is_empty() {
+                        return;
+                    }
+                    for item in &items {
+                        repo.store_local(item.clone());
+                    }
+                    manager.deliver(id, items);
+                }
+            })
+        };
+        let member_done = {
+            let weak = weak.clone();
+            Rc::new(move |id: QueryId| {
+                if let Some(inner) = weak.upgrade() {
+                    ContextFactory { inner }.finish_query(id);
+                }
+            })
+        };
+        let provider_failed = {
+            let weak = weak.clone();
+            Rc::new(move |ids: Vec<QueryId>, err: RefError| {
+                if let Some(inner) = weak.upgrade() {
+                    ContextFactory { inner }.handle_provider_failure(mechanism, ids, err);
+                }
+            })
+        };
+        Facade::new(&sim, make_provider, deliver, member_done, provider_failed)
+    }
+
+    /// The resources monitor (the platform feeds battery/memory/reference
+    /// events into it).
+    pub fn monitor(&self) -> ResourcesMonitor {
+        self.inner.borrow().monitor.clone()
+    }
+
+    /// The local/remote context repository.
+    pub fn repository(&self) -> CxtRepository {
+        self.inner.borrow().repo.clone()
+    }
+
+    /// The access controller.
+    pub fn access_controller(&self) -> AccessController {
+        self.inner.borrow().access.clone()
+    }
+
+    /// The active-query table.
+    pub fn manager(&self) -> QueryManager {
+        self.inner.borrow().manager.clone()
+    }
+
+    /// The facade serving a mechanism, if the device supports it
+    /// (exposed for inspection in tests and benches).
+    pub fn facade(&self, mechanism: Mechanism) -> Option<Facade> {
+        self.inner.borrow().facades.get(&mechanism).cloned()
+    }
+
+    /// Installs a control policy rule.
+    pub fn add_rule(&self, rule: ContextRule) {
+        self.inner.borrow_mut().rules.push(rule);
+        self.enforce_policies();
+    }
+
+    /// Parses and submits a query (`processCxtQuery` with query text).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContoryError::Parse`] for bad query text, plus the
+    /// errors of [`ContextFactory::process_cxt_query`].
+    pub fn process_cxt_query_text(
+        &self,
+        text: &str,
+        client: Rc<dyn Client>,
+    ) -> Result<QueryId, ContoryError> {
+        let query = CxtQuery::parse(text)?;
+        self.process_cxt_query(query, client)
+    }
+
+    /// Submits a query (`processCxtQuery`): assigns it to a suitable
+    /// facade and schedules its expiry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContoryError::NoMechanism`] when no available mechanism
+    /// can serve the query.
+    pub fn process_cxt_query(
+        &self,
+        query: CxtQuery,
+        client: Rc<dyn Client>,
+    ) -> Result<QueryId, ContoryError> {
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_query += 1;
+            QueryId(inner.next_query)
+        };
+        {
+            let inner = self.inner.borrow();
+            inner.manager.insert(
+                id,
+                QueryRecord {
+                    query: query.clone(),
+                    client,
+                    mechanism: Mechanism::IntSensor, // placeholder until assigned
+                    failed: Vec::new(),
+                },
+            );
+        }
+        match self.assign(id) {
+            Ok(_mechanism) => {}
+            Err(e) => {
+                self.inner.borrow().manager.remove(id);
+                return Err(e);
+            }
+        }
+        // Wall-time queries expire on schedule.
+        if let DurationClause::Time(d) = query.duration {
+            let weak = Rc::downgrade(&self.inner);
+            let sim = self.inner.borrow().sim.clone();
+            sim.schedule_in(d, move || {
+                if let Some(inner) = weak.upgrade() {
+                    ContextFactory { inner }.finish_query(id);
+                }
+            });
+        }
+        self.update_status();
+        Ok(id)
+    }
+
+    /// Cancels an active query (`cancelCxtQuery`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContoryError::UnknownQuery`] if the id is not active.
+    pub fn cancel_cxt_query(&self, id: QueryId) -> Result<(), ContoryError> {
+        if !self.inner.borrow().manager.contains(id) {
+            return Err(ContoryError::UnknownQuery(id.0));
+        }
+        self.finish_query(id);
+        Ok(())
+    }
+
+    /// Publishes a context item in the ad hoc network(s)
+    /// (`publishCxtItem`). `key = Some` selects authenticated access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContoryError::AccessDenied`] when registration is
+    /// required and no context server is registered, or
+    /// [`ContoryError::Reference`] when no ad hoc reference accepted the
+    /// item.
+    pub fn publish_cxt_item(&self, item: CxtItem, key: Option<String>) -> Result<(), ContoryError> {
+        {
+            let inner = self.inner.borrow();
+            if inner.config.require_registration && inner.registered_servers.is_empty() {
+                return Err(ContoryError::AccessDenied(
+                    "publisher is not a registered context server".into(),
+                ));
+            }
+        }
+        let publisher = self.inner.borrow().publisher.clone();
+        publisher.publish(item, key, Box::new(|_res| {}));
+        Ok(())
+    }
+
+    /// Withdraws a published item.
+    pub fn unpublish_cxt_item(&self, cxt_type: &str) {
+        self.inner.borrow().publisher.unpublish(cxt_type);
+    }
+
+    /// Stores an item locally and in the remote repository
+    /// (`storeCxtItem`).
+    pub fn store_cxt_item(&self, item: CxtItem) {
+        let (repo, has_cell) = {
+            let inner = self.inner.borrow();
+            (inner.repo.clone(), inner.refs.cell.is_some())
+        };
+        repo.store_local(item.clone());
+        if has_cell {
+            repo.store_remote(item, Box::new(|_res| {}));
+        }
+    }
+
+    /// Registers a context server eligible to publish
+    /// (`registerCxtServer`).
+    pub fn register_cxt_server(&self, name: impl Into<String>) {
+        self.inner.borrow_mut().registered_servers.insert(name.into());
+    }
+
+    /// Deregisters a context server (`deregisterCxtServer`).
+    pub fn deregister_cxt_server(&self, name: &str) {
+        self.inner.borrow_mut().registered_servers.remove(name);
+    }
+
+    /// Number of active queries.
+    pub fn active_queries(&self) -> usize {
+        self.inner.borrow().manager.len()
+    }
+
+    /// The mechanism currently serving a query.
+    pub fn mechanism_of(&self, id: QueryId) -> Option<Mechanism> {
+        self.inner.borrow().manager.mechanism_of(id)
+    }
+
+    /// Ordered candidate mechanisms for a query, given the FROM clause,
+    /// device capabilities and active policies.
+    pub fn candidates(&self, query: &CxtQuery) -> Vec<Mechanism> {
+        let inner = self.inner.borrow();
+        let has = |m: Mechanism| inner.facades.contains_key(&m);
+        let internal_provides = inner
+            .refs
+            .internal
+            .as_ref()
+            .is_some_and(|i| i.provides(&query.select));
+        let mut order: Vec<Mechanism> = match &query.from {
+            Some(Source::IntSensor) => vec![
+                Mechanism::IntSensor,
+                Mechanism::AdHocBt,
+                Mechanism::AdHocWifi,
+                Mechanism::Infra,
+            ],
+            Some(Source::ExtInfra) => vec![
+                Mechanism::Infra,
+                Mechanism::AdHocWifi,
+                Mechanism::AdHocBt,
+            ],
+            Some(Source::AdHocNetwork { num_hops, .. }) => {
+                if *num_hops > 1 {
+                    vec![Mechanism::AdHocWifi, Mechanism::AdHocBt, Mechanism::Infra]
+                } else {
+                    vec![Mechanism::AdHocBt, Mechanism::AdHocWifi, Mechanism::Infra]
+                }
+            }
+            Some(Source::Entity(_)) => {
+                vec![Mechanism::AdHocWifi, Mechanism::AdHocBt, Mechanism::Infra]
+            }
+            Some(Source::Region { .. }) => vec![Mechanism::AdHocWifi, Mechanism::Infra],
+            None => {
+                let mut v = Vec::new();
+                if internal_provides {
+                    v.push(Mechanism::IntSensor);
+                }
+                v.extend([Mechanism::AdHocBt, Mechanism::AdHocWifi, Mechanism::Infra]);
+                v
+            }
+        };
+        // intSensor needs either an integrated sensor or BT for an
+        // attached one.
+        order.retain(|&m| match m {
+            Mechanism::IntSensor => internal_provides || inner.refs.bt.is_some(),
+            _ => true,
+        });
+        order.retain(|&m| has(m));
+        // Active reducePower: prefer BT one-hop over WiFi multi-hop and
+        // demote the UMTS infrastructure to last resort.
+        let actions = inner.monitor.status().active_actions(&inner.rules);
+        if actions.contains(&RuleAction::ReducePower) {
+            order.sort_by_key(|&m| match m {
+                Mechanism::IntSensor => 0,
+                Mechanism::AdHocBt => 1,
+                Mechanism::AdHocWifi => 2,
+                Mechanism::Infra => 3,
+            });
+        }
+        order
+    }
+
+    /// Assigns (or reassigns) a query to the best non-failed candidate.
+    fn assign(&self, id: QueryId) -> Result<Mechanism, ContoryError> {
+        let (query, failed, manager) = {
+            let inner = self.inner.borrow();
+            let Some(query) = inner.manager.query_of(id) else {
+                return Err(ContoryError::UnknownQuery(id.0));
+            };
+            (query, inner.manager.failed_of(id), inner.manager.clone())
+        };
+        let candidates = self.candidates(&query);
+        let pick = candidates.iter().copied().find(|m| !failed.contains(m));
+        let Some(mechanism) = pick else {
+            return Err(ContoryError::NoMechanism {
+                cxt_type: query.select.clone(),
+                reason: if candidates.is_empty() {
+                    "device has no mechanism for this FROM clause".into()
+                } else {
+                    "all candidate mechanisms have failed".into()
+                },
+            });
+        };
+        let facade = self
+            .inner
+            .borrow()
+            .facades
+            .get(&mechanism)
+            .cloned()
+            .expect("candidate implies facade");
+        // Record the mechanism *before* submitting: a provider whose
+        // radio is already down fails synchronously inside submit(),
+        // re-entering assign() — which must not be overwritten afterwards.
+        manager.set_mechanism(id, mechanism);
+        facade.submit(id, query)?;
+        Ok(mechanism)
+    }
+
+    /// Ends a query silently (duration expiry, sample budget, or explicit
+    /// cancel).
+    fn finish_query(&self, id: QueryId) {
+        let facades: Vec<Facade> = self.inner.borrow().facades.values().cloned().collect();
+        for f in facades {
+            if f.cancel(id) {
+                break;
+            }
+        }
+        self.inner.borrow().manager.remove(id);
+        self.update_status();
+    }
+
+    /// A provider died: mark the mechanism failed for those queries, move
+    /// them to the next candidate and start recovery probes.
+    fn handle_provider_failure(&self, mechanism: Mechanism, ids: Vec<QueryId>, err: RefError) {
+        let manager = self.inner.borrow().manager.clone();
+        for id in ids {
+            if !manager.contains(id) {
+                continue;
+            }
+            manager.mark_failed(id, mechanism);
+            manager.inform_error(id, &format!("{mechanism} failed: {err}"));
+            match self.assign(id) {
+                Ok(new_mechanism) => {
+                    manager.inform_error(
+                        id,
+                        &format!("switched provisioning to {new_mechanism}"),
+                    );
+                    self.schedule_recovery_probe(id);
+                }
+                Err(e) => {
+                    manager.inform_error(id, &format!("query terminated: {e}"));
+                    manager.remove(id);
+                }
+            }
+        }
+        self.update_status();
+    }
+
+    /// A whole communication module failed (reported via the monitor):
+    /// reassign every query riding it.
+    fn reassign_kind(&self, kind: RefKind) {
+        let (manager, ids): (QueryManager, Vec<QueryId>) = {
+            let inner = self.inner.borrow();
+            let ids = inner
+                .facades
+                .keys()
+                .filter(|m| m.kind() == kind)
+                .flat_map(|m| inner.manager.queries_on(*m))
+                .collect();
+            (inner.manager.clone(), ids)
+        };
+        for id in ids {
+            let Some(current) = manager.mechanism_of(id) else {
+                continue;
+            };
+            // Pull the query out of its current facade before reassigning.
+            if let Some(f) = self.facade(current) {
+                f.cancel(id);
+            }
+            self.handle_provider_failure(current, vec![id], RefError::Unavailable(
+                format!("{kind} reported failed"),
+            ));
+        }
+    }
+
+    /// Periodically checks whether a query's preferred mechanism works
+    /// again; if so, moves the query back (Fig. 5's switch-back once the
+    /// GPS device is rediscovered).
+    fn schedule_recovery_probe(&self, id: QueryId) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.probes_in_flight.insert(id) {
+                return; // already probing
+            }
+        }
+        let weak = Rc::downgrade(&self.inner);
+        let (sim, interval) = {
+            let inner = self.inner.borrow();
+            (inner.sim.clone(), inner.config.recovery_probe)
+        };
+        sim.schedule_repeating(interval, move || {
+            let Some(inner_rc) = weak.upgrade() else {
+                return false;
+            };
+            let factory = ContextFactory { inner: inner_rc };
+            factory.probe_step(id)
+        });
+    }
+
+    /// One probe round; returns whether probing should continue.
+    fn probe_step(&self, id: QueryId) -> bool {
+        let (manager, query, failed) = {
+            let inner = self.inner.borrow();
+            let m = inner.manager.clone();
+            let Some(q) = m.query_of(id) else {
+                drop(inner);
+                self.inner.borrow_mut().probes_in_flight.remove(&id);
+                return false;
+            };
+            (m, q, inner.manager.failed_of(id))
+        };
+        if failed.is_empty() {
+            self.inner.borrow_mut().probes_in_flight.remove(&id);
+            return false;
+        }
+        let preferred = match self.candidates(&query).first().copied() {
+            Some(m) => m,
+            None => return true,
+        };
+        if !failed.contains(&preferred) {
+            // Preferred already serves (or is untested): stop probing.
+            self.inner.borrow_mut().probes_in_flight.remove(&id);
+            return false;
+        }
+        // Probe the preferred mechanism's availability.
+        let weak = Rc::downgrade(&self.inner);
+        let select = query.select.clone();
+        let on_result: Box<dyn FnOnce(bool)> = Box::new(move |ok| {
+            if !ok {
+                return;
+            }
+            let Some(inner_rc) = weak.upgrade() else {
+                return;
+            };
+            let factory = ContextFactory { inner: inner_rc };
+            let manager = factory.inner.borrow().manager.clone();
+            if !manager.contains(id) {
+                return;
+            }
+            let Some(current) = manager.mechanism_of(id) else {
+                return;
+            };
+            if let Some(f) = factory.facade(current) {
+                f.cancel(id);
+            }
+            manager.clear_failed(id);
+            match factory.assign(id) {
+                Ok(m) => manager.inform_error(id, &format!("recovered: back on {m}")),
+                Err(e) => {
+                    manager.inform_error(id, &format!("query terminated: {e}"));
+                    manager.remove(id);
+                }
+            }
+        });
+        let refs = self.inner.borrow().refs.clone();
+        match preferred {
+            Mechanism::IntSensor => {
+                let internal_ok = refs
+                    .internal
+                    .as_ref()
+                    .is_some_and(|i| i.provides(&select));
+                if internal_ok {
+                    on_result(true);
+                } else if let Some(bt) = refs.bt {
+                    // Real discovery: this is the BT inquiry visible as the
+                    // power spikes in Fig. 5.
+                    bt.discover_sensor(&select, Box::new(move |res| on_result(res.is_ok())));
+                } else {
+                    on_result(false);
+                }
+            }
+            Mechanism::AdHocBt => {
+                on_result(refs.bt.is_some_and(|b| b.is_available()));
+            }
+            Mechanism::AdHocWifi => {
+                on_result(refs.wifi.is_some_and(|w| w.is_available()));
+            }
+            Mechanism::Infra => {
+                on_result(refs.cell.is_some_and(|c| c.is_available()));
+            }
+        }
+        let _ = manager;
+        true
+    }
+
+    /// Evaluates the control policies against the current status and
+    /// enforces actions on rising edges.
+    pub fn enforce_policies(&self) {
+        let (actions, prev) = {
+            let inner = self.inner.borrow();
+            let actions = inner.monitor.status().active_actions(&inner.rules);
+            (actions, inner.prev_actions.clone())
+        };
+        for action in &actions {
+            if prev.contains(action) {
+                continue; // already enforced
+            }
+            match action {
+                RuleAction::ReduceMemory => {
+                    self.inner.borrow().repo.trim();
+                }
+                RuleAction::ReduceLoad => {
+                    let facades: Vec<Facade> =
+                        self.inner.borrow().facades.values().cloned().collect();
+                    for f in facades {
+                        f.slow_down(2);
+                    }
+                }
+                RuleAction::ReducePower => {
+                    self.apply_reduce_power();
+                }
+            }
+        }
+        self.inner.borrow_mut().prev_actions = actions;
+    }
+
+    /// Moves queries off the most power-hungry mechanisms: UMTS-based
+    /// queries are suspended or moved, WiFi multi-hop falls back to BT
+    /// one-hop (§4.3's example enforcement).
+    fn apply_reduce_power(&self) {
+        let manager = self.inner.borrow().manager.clone();
+        for victim in [Mechanism::Infra, Mechanism::AdHocWifi] {
+            for id in manager.queries_on(victim) {
+                if let Some(f) = self.facade(victim) {
+                    f.cancel(id);
+                }
+                manager.mark_failed(id, victim);
+                match self.assign(id) {
+                    Ok(m) => manager.inform_error(
+                        id,
+                        &format!("reducePower: moved from {victim} to {m}"),
+                    ),
+                    Err(_) => {
+                        manager
+                            .inform_error(id, "reducePower: query suspended (no alternative)");
+                        manager.remove(id);
+                    }
+                }
+            }
+        }
+        self.update_status();
+    }
+
+    fn update_status(&self) {
+        let inner = self.inner.borrow();
+        inner
+            .monitor
+            .set_status("activeQueries", RuleValue::Number(inner.manager.len() as f64));
+    }
+}
+
+impl fmt::Debug for ContextFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("ContextFactory")
+            .field("active_queries", &inner.manager.len())
+            .field("facades", &inner.facades.len())
+            .finish()
+    }
+}

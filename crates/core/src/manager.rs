@@ -1,0 +1,161 @@
+//! The QueryManager (§4.3): "responsible for maintaining an updated list
+//! of all active queries and for assigning queries to suitable Facade
+//! components" (the assignment policy itself lives in the
+//! `ContextFactory`, which owns mechanism selection).
+
+use crate::client::Client;
+use crate::factory::{Mechanism, QueryId};
+use crate::item::CxtItem;
+use crate::query::CxtQuery;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+pub(crate) struct QueryRecord {
+    pub query: CxtQuery,
+    pub client: Rc<dyn Client>,
+    /// Mechanism currently serving the query.
+    pub mechanism: Mechanism,
+    /// Mechanisms that failed for this query (skipped until recovery).
+    pub failed: Vec<Mechanism>,
+}
+
+struct Inner {
+    records: BTreeMap<QueryId, QueryRecord>,
+}
+
+/// Shared handle to the active-query table.
+#[derive(Clone)]
+pub struct QueryManager {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for QueryManager {
+    fn default() -> Self {
+        QueryManager::new()
+    }
+}
+
+impl QueryManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        QueryManager {
+            inner: Rc::new(RefCell::new(Inner {
+                records: BTreeMap::new(),
+            })),
+        }
+    }
+
+    pub(crate) fn insert(&self, id: QueryId, record: QueryRecord) {
+        self.inner.borrow_mut().records.insert(id, record);
+    }
+
+    pub(crate) fn remove(&self, id: QueryId) -> Option<QueryRecord> {
+        self.inner.borrow_mut().records.remove(&id)
+    }
+
+    /// Whether a query is active.
+    pub fn contains(&self, id: QueryId) -> bool {
+        self.inner.borrow().records.contains_key(&id)
+    }
+
+    /// Number of active queries.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().records.len()
+    }
+
+    /// True when no queries are active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The mechanism currently serving a query.
+    pub fn mechanism_of(&self, id: QueryId) -> Option<Mechanism> {
+        self.inner.borrow().records.get(&id).map(|r| r.mechanism)
+    }
+
+    /// Active query ids currently served by `mechanism`.
+    pub fn queries_on(&self, mechanism: Mechanism) -> Vec<QueryId> {
+        self.inner
+            .borrow()
+            .records
+            .iter()
+            .filter(|(_, r)| r.mechanism == mechanism)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// The original query text of an active query.
+    pub fn query_of(&self, id: QueryId) -> Option<CxtQuery> {
+        self.inner.borrow().records.get(&id).map(|r| r.query.clone())
+    }
+
+    pub(crate) fn client_of(&self, id: QueryId) -> Option<Rc<dyn Client>> {
+        self.inner.borrow().records.get(&id).map(|r| r.client.clone())
+    }
+
+    pub(crate) fn set_mechanism(&self, id: QueryId, mechanism: Mechanism) {
+        if let Some(r) = self.inner.borrow_mut().records.get_mut(&id) {
+            r.mechanism = mechanism;
+        }
+    }
+
+    pub(crate) fn mark_failed(&self, id: QueryId, mechanism: Mechanism) {
+        if let Some(r) = self.inner.borrow_mut().records.get_mut(&id) {
+            if !r.failed.contains(&mechanism) {
+                r.failed.push(mechanism);
+            }
+        }
+    }
+
+    pub(crate) fn clear_failed(&self, id: QueryId) {
+        if let Some(r) = self.inner.borrow_mut().records.get_mut(&id) {
+            r.failed.clear();
+        }
+    }
+
+    pub(crate) fn failed_of(&self, id: QueryId) -> Vec<Mechanism> {
+        self.inner
+            .borrow()
+            .records
+            .get(&id)
+            .map(|r| r.failed.clone())
+            .unwrap_or_default()
+    }
+
+    /// Delivers items to the owning client (and returns whether the query
+    /// was still active).
+    pub(crate) fn deliver(&self, id: QueryId, items: Vec<CxtItem>) -> bool {
+        let client = {
+            let inner = self.inner.borrow();
+            match inner.records.get(&id) {
+                Some(r) => r.client.clone(),
+                None => return false,
+            }
+        };
+        for item in items {
+            client.receive_cxt_item(id, item);
+        }
+        true
+    }
+
+    /// Reports an error to the owning client.
+    pub(crate) fn inform_error(&self, id: QueryId, message: &str) {
+        let client = {
+            let inner = self.inner.borrow();
+            inner.records.get(&id).map(|r| r.client.clone())
+        };
+        if let Some(c) = client {
+            c.inform_error(message);
+        }
+    }
+}
+
+impl fmt::Debug for QueryManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryManager")
+            .field("active", &self.len())
+            .finish()
+    }
+}

@@ -1,0 +1,352 @@
+//! Evaluation of WHERE predicates and EVENT expressions.
+//!
+//! ## WHERE semantics
+//!
+//! WHERE filters compare against item *metadata*. For quality metadata,
+//! `=` is interpreted as a quality threshold rather than strict equality
+//! (the paper's example query "WHERE accuracy=0.2" asks for data with
+//! accuracy *of* 0.2 °C — a sensor that is *better* than 0.2 °C clearly
+//! qualifies):
+//!
+//! - `accuracy` / `precision` (lower is better): `=v` accepts values ≤ v.
+//! - `correctness` / `completeness` (higher is better): `=v` accepts ≥ v.
+//! - `trust`: `=level` accepts at least that level
+//!   (unknown < community < trusted).
+//! - Everything else (`privacy`, unknown keys): literal comparison.
+//!
+//! Explicit `<`, `<=`, `>`, `>=`, `!=` always compare literally. An item
+//! missing the referenced metadata fails the predicate — quality that
+//! cannot be verified is not assumed.
+//!
+//! ## EVENT semantics
+//!
+//! EVENT expressions are evaluated over the items collected in the
+//! current round ([`EventWindow`]): aggregates (`AVG`, `MIN`, `MAX`,
+//! `SUM`, `COUNT`) and latest-value references, combined with `AND`/`OR`.
+
+use crate::item::{CxtItem, Trust};
+use crate::query::{AggFunc, CmpOp, EventExpr, EventTerm, PredValue, WherePredicate};
+use crate::vocab::metadata_keys;
+use simkit::{SimDuration, SimTime};
+
+/// Whether `item` satisfies every predicate in `preds`.
+pub(crate) fn matches_where(item: &CxtItem, preds: &[WherePredicate]) -> bool {
+    preds.iter().all(|p| matches_one(item, p))
+}
+
+fn matches_one(item: &CxtItem, pred: &WherePredicate) -> bool {
+    match (&pred.value, pred.key.as_str()) {
+        (PredValue::Number(target), key) => {
+            let Some(actual) = item.metadata.numeric(key) else {
+                return false;
+            };
+            match pred.op {
+                CmpOp::Eq => quality_eq(key, actual, *target),
+                op => op.eval_f64(actual, *target),
+            }
+        }
+        (PredValue::Text(target), metadata_keys::TRUST) => {
+            let Some(target_level) = parse_trust(target) else {
+                return false;
+            };
+            let actual = item.metadata.trust;
+            match pred.op {
+                CmpOp::Eq | CmpOp::Ge => actual >= target_level,
+                CmpOp::Ne => actual != target_level,
+                CmpOp::Gt => actual > target_level,
+                CmpOp::Lt => actual < target_level,
+                CmpOp::Le => actual <= target_level,
+            }
+        }
+        (PredValue::Text(target), metadata_keys::PRIVACY) => {
+            let actual = item.metadata.privacy.as_deref();
+            match pred.op {
+                CmpOp::Eq => actual == Some(target.as_str()),
+                CmpOp::Ne => actual != Some(target.as_str()),
+                _ => false,
+            }
+        }
+        // Text comparison against the item's value itself (categorical
+        // context, e.g. activity=walking).
+        (PredValue::Text(target), "value") => {
+            let text = item.value.to_string();
+            match pred.op {
+                CmpOp::Eq => text == *target,
+                CmpOp::Ne => text != *target,
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Quality-threshold reading of `=` (see module docs).
+fn quality_eq(key: &str, actual: f64, target: f64) -> bool {
+    const EPS: f64 = 1e-9;
+    match key {
+        metadata_keys::ACCURACY | metadata_keys::PRECISION => actual <= target + EPS,
+        metadata_keys::CORRECTNESS | metadata_keys::COMPLETENESS => actual >= target - EPS,
+        _ => (actual - target).abs() <= EPS,
+    }
+}
+
+fn parse_trust(s: &str) -> Option<Trust> {
+    match s {
+        "unknown" => Some(Trust::Unknown),
+        "community" => Some(Trust::Community),
+        "trusted" => Some(Trust::Trusted),
+        _ => None,
+    }
+}
+
+/// The set of items collected in the current round, against which EVENT
+/// conditions are evaluated.
+///
+/// ```
+/// use contory::{CxtItem, CxtValue, EventWindow};
+/// use contory::query::CxtQuery;
+/// use simkit::SimTime;
+///
+/// let q = CxtQuery::parse("SELECT t DURATION 1 hour EVENT AVG(t)>25")?;
+/// let mut w = EventWindow::new();
+/// w.push(CxtItem::new("t", CxtValue::number(24.0), SimTime::ZERO));
+/// w.push(CxtItem::new("t", CxtValue::number(28.0), SimTime::ZERO));
+/// if let contory::query::QueryMode::Event(expr) = &q.mode {
+///     assert!(w.eval(expr)); // AVG = 26 > 25
+/// }
+/// # Ok::<(), contory::query::ParseQueryError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EventWindow {
+    items: Vec<CxtItem>,
+}
+
+impl EventWindow {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        EventWindow::default()
+    }
+
+    /// Adds a collected item.
+    pub fn push(&mut self, item: CxtItem) {
+        self.items.push(item);
+    }
+
+    /// Items currently in the window.
+    pub fn items(&self) -> &[CxtItem] {
+        &self.items
+    }
+
+    /// Number of items in the window.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Empties the window (start of a new round).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Drops items older than `max_age` at `now` (sliding windows).
+    pub fn retain_fresh(&mut self, now: SimTime, max_age: SimDuration) {
+        self.items.retain(|i| i.is_fresh_at(now, max_age));
+    }
+
+    /// Evaluates an EVENT expression against the window. Comparisons
+    /// whose terms cannot be computed (no data for the field) are false.
+    pub fn eval(&self, expr: &EventExpr) -> bool {
+        match expr {
+            EventExpr::Cmp { left, op, right } => {
+                match (self.term(left), self.term(right)) {
+                    (Some(l), Some(r)) => op.eval_f64(l, r),
+                    _ => false,
+                }
+            }
+            EventExpr::And(a, b) => self.eval(a) && self.eval(b),
+            EventExpr::Or(a, b) => self.eval(a) || self.eval(b),
+        }
+    }
+
+    fn term(&self, term: &EventTerm) -> Option<f64> {
+        match term {
+            EventTerm::Number(n) => Some(*n),
+            EventTerm::Field(name) => self
+                .items
+                .iter()
+                .rev()
+                .find(|i| &i.cxt_type == name)
+                .and_then(|i| i.value.as_f64()),
+            EventTerm::Agg { func, field } => {
+                let values: Vec<f64> = self
+                    .items
+                    .iter()
+                    .filter(|i| &i.cxt_type == field)
+                    .filter_map(|i| i.value.as_f64())
+                    .collect();
+                if *func == AggFunc::Count {
+                    return Some(values.len() as f64);
+                }
+                if values.is_empty() {
+                    return None;
+                }
+                Some(match func {
+                    AggFunc::Avg => values.iter().sum::<f64>() / values.len() as f64,
+                    AggFunc::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+                    AggFunc::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    AggFunc::Sum => values.iter().sum(),
+                    AggFunc::Count => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::CxtValue;
+    use crate::query::CxtQuery;
+
+    fn item_with_accuracy(acc: f64) -> CxtItem {
+        CxtItem::new("temperature", CxtValue::number(20.0), SimTime::ZERO).with_accuracy(acc)
+    }
+
+    fn preds(text: &str) -> Vec<WherePredicate> {
+        CxtQuery::parse(&format!("SELECT t WHERE {text} DURATION 1 min"))
+            .unwrap()
+            .where_clause
+    }
+
+    #[test]
+    fn accuracy_eq_is_a_quality_threshold() {
+        let ps = preds("accuracy=0.2");
+        assert!(matches_where(&item_with_accuracy(0.2), &ps));
+        assert!(matches_where(&item_with_accuracy(0.1), &ps), "better passes");
+        assert!(!matches_where(&item_with_accuracy(0.5), &ps), "worse fails");
+    }
+
+    #[test]
+    fn correctness_eq_is_a_floor() {
+        let ps = preds("correctness=0.8");
+        let good = CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO).with_correctness(0.9);
+        let bad = CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO).with_correctness(0.5);
+        assert!(matches_where(&good, &ps));
+        assert!(!matches_where(&bad, &ps));
+    }
+
+    #[test]
+    fn explicit_operators_compare_literally() {
+        let ps = preds("accuracy>0.3");
+        assert!(matches_where(&item_with_accuracy(0.5), &ps));
+        assert!(!matches_where(&item_with_accuracy(0.2), &ps));
+        let ps = preds("accuracy!=0.2");
+        assert!(!matches_where(&item_with_accuracy(0.2), &ps));
+    }
+
+    #[test]
+    fn missing_metadata_fails() {
+        let bare = CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO);
+        assert!(!matches_where(&bare, &preds("accuracy=0.2")));
+        assert!(matches_where(&bare, &[]));
+    }
+
+    #[test]
+    fn trust_is_ordered() {
+        let community = CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO)
+            .with_trust(Trust::Community);
+        let trusted =
+            CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO).with_trust(Trust::Trusted);
+        let ps = preds("trust=community");
+        assert!(matches_where(&community, &ps));
+        assert!(matches_where(&trusted, &ps), "more trusted passes");
+        let ps = preds("trust=trusted");
+        assert!(!matches_where(&community, &ps));
+        let ps = preds("trust!=trusted");
+        assert!(matches_where(&community, &ps));
+    }
+
+    #[test]
+    fn privacy_is_literal() {
+        let mut item = CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO);
+        item.metadata.privacy = Some("community".into());
+        assert!(matches_where(&item, &preds("privacy=community")));
+        assert!(!matches_where(&item, &preds("privacy=public")));
+        assert!(matches_where(&item, &preds("privacy!=public")));
+    }
+
+    #[test]
+    fn all_predicates_must_hold() {
+        let item = item_with_accuracy(0.1);
+        let ps = preds("accuracy=0.2 AND correctness=0.5");
+        assert!(!matches_where(&item, &ps), "correctness missing");
+    }
+
+    #[test]
+    fn event_window_aggregates() {
+        let mut w = EventWindow::new();
+        for v in [10.0, 20.0, 30.0] {
+            w.push(CxtItem::new("temperature", CxtValue::number(v), SimTime::ZERO));
+        }
+        w.push(CxtItem::new("wind", CxtValue::number(99.0), SimTime::ZERO));
+        let q = |s: &str| match CxtQuery::parse(&format!("SELECT t DURATION 1 min EVENT {s}"))
+            .unwrap()
+            .mode
+        {
+            crate::query::QueryMode::Event(e) => e,
+            _ => unreachable!(),
+        };
+        assert!(w.eval(&q("AVG(temperature)=20")));
+        assert!(w.eval(&q("MIN(temperature)<15")));
+        assert!(w.eval(&q("MAX(temperature)>=30")));
+        assert!(w.eval(&q("SUM(temperature)=60")));
+        assert!(w.eval(&q("COUNT(temperature)=3")));
+        assert!(!w.eval(&q("AVG(wind)>100")));
+        // boolean structure
+        assert!(w.eval(&q("AVG(temperature)>15 AND COUNT(temperature)>=3")));
+        assert!(w.eval(&q("AVG(temperature)>100 OR MIN(wind)=99")));
+    }
+
+    #[test]
+    fn event_on_empty_window_is_false_except_count() {
+        let w = EventWindow::new();
+        let q = |s: &str| match CxtQuery::parse(&format!("SELECT t DURATION 1 min EVENT {s}"))
+            .unwrap()
+            .mode
+        {
+            crate::query::QueryMode::Event(e) => e,
+            _ => unreachable!(),
+        };
+        assert!(!w.eval(&q("AVG(temperature)>0")));
+        assert!(w.eval(&q("COUNT(temperature)=0")));
+    }
+
+    #[test]
+    fn field_term_uses_latest_value() {
+        let mut w = EventWindow::new();
+        w.push(CxtItem::new("t", CxtValue::number(5.0), SimTime::ZERO));
+        w.push(CxtItem::new("t", CxtValue::number(9.0), SimTime::from_secs(1)));
+        let e = EventExpr::Cmp {
+            left: EventTerm::Field("t".into()),
+            op: CmpOp::Eq,
+            right: EventTerm::Number(9.0),
+        };
+        assert!(w.eval(&e));
+    }
+
+    #[test]
+    fn window_housekeeping() {
+        let mut w = EventWindow::new();
+        w.push(CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO));
+        w.push(CxtItem::new("t", CxtValue::number(2.0), SimTime::from_secs(100)));
+        assert_eq!(w.len(), 2);
+        w.retain_fresh(SimTime::from_secs(110), SimDuration::from_secs(30));
+        assert_eq!(w.len(), 1);
+        w.clear();
+        assert!(w.is_empty());
+    }
+}

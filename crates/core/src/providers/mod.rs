@@ -1,0 +1,54 @@
+//! CxtProviders: the components that accomplish context provisioning
+//! (§4.3). One family per mechanism:
+//!
+//! - [`local::LocalCxtProvider`] — sensors on the device or attached over
+//!   Bluetooth ("These providers periodically pull sensor devices and
+//!   report values that match WHERE and FRESHNESS requirements").
+//! - [`adhoc::AdHocCxtProvider`] — distributed provisioning in ad hoc
+//!   networks, BT one-hop or WiFi multi-hop.
+//! - [`infra::InfraCxtProvider`] — retrieval from remote context
+//!   infrastructures.
+//!
+//! Each provider serves exactly one (possibly merged) query at a time and
+//! supports the three interaction modes: on-demand, periodic (EVERY) and
+//! event-based (EVENT).
+
+pub(crate) mod adhoc;
+pub(crate) mod infra;
+pub(crate) mod local;
+
+use crate::item::CxtItem;
+use crate::query::CxtQuery;
+use crate::refs::RefError;
+use std::rc::Rc;
+
+/// Where collected items go (the owning Facade wraps this to perform
+/// post-extraction per member query).
+pub(crate) type ProviderSink = Rc<dyn Fn(Vec<CxtItem>)>;
+
+/// How a provider reports that its mechanism stopped working (triggers
+/// the factory's reconfiguration strategy).
+pub(crate) type ProviderFailure = Rc<dyn Fn(RefError)>;
+
+/// A running context provider.
+pub(crate) trait CxtProvider {
+    /// Begins provisioning.
+    fn start(&self);
+
+    /// Stops provisioning and releases resources. Idempotent.
+    fn stop(&self);
+
+    /// Updates the (merged) query this provider serves — called when the
+    /// Facade merges a new member in or drops one.
+    fn update_query(&self, query: &CxtQuery);
+}
+
+/// Shared helper: evaluates the merged query's WHERE and FRESHNESS
+/// against an item at delivery time.
+pub(crate) fn provider_filter(
+    query: &CxtQuery,
+    items: Vec<CxtItem>,
+    now: simkit::SimTime,
+) -> Vec<CxtItem> {
+    crate::merge::post_extract(query, &items, now)
+}

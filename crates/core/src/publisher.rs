@@ -1,0 +1,146 @@
+//! The CxtPublisher (§4.3): "allows publishing context information in ad
+//! hoc networks by means of the BTReference or the WiFiReference. Each
+//! time a context item has to be published, two access modalities can be
+//! applied: public access allows any external entity to access the item,
+//! and authenticated access locks the item with a key."
+
+use crate::item::CxtItem;
+use crate::refs::{BtReference, RefError, WifiReference};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+struct Inner {
+    bt: Option<Rc<dyn BtReference>>,
+    wifi: Option<Rc<dyn WifiReference>>,
+    /// Items currently published, by context type.
+    published: BTreeMap<String, (CxtItem, Option<String>)>,
+}
+
+/// Shared handle to the publisher.
+#[derive(Clone)]
+pub struct CxtPublisher {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl CxtPublisher {
+    /// Creates a publisher over the available ad hoc references.
+    pub fn new(bt: Option<Rc<dyn BtReference>>, wifi: Option<Rc<dyn WifiReference>>) -> Self {
+        CxtPublisher {
+            inner: Rc::new(RefCell::new(Inner {
+                bt,
+                wifi,
+                published: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Publishes (or refreshes) an item on every available ad hoc
+    /// reference. `key` = `Some` selects authenticated access. The
+    /// callback fires once, after the first reference succeeds — or with
+    /// the last error if all fail.
+    pub fn publish(
+        &self,
+        item: CxtItem,
+        key: Option<String>,
+        cb: Box<dyn FnOnce(Result<(), RefError>)>,
+    ) {
+        let (bt, wifi) = {
+            let mut inner = self.inner.borrow_mut();
+            inner
+                .published
+                .insert(item.cxt_type.clone(), (item.clone(), key.clone()));
+            (inner.bt.clone(), inner.wifi.clone())
+        };
+        let targets: Vec<Target> = [
+            bt.map(Target::Bt),
+            wifi.map(Target::Wifi),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if targets.is_empty() {
+            cb(Err(RefError::Unavailable("no ad hoc reference".into())));
+            return;
+        }
+        // First success wins; all failures -> last error.
+        let state = Rc::new(RefCell::new(PublishState {
+            remaining: targets.len(),
+            done: false,
+            cb: Some(cb),
+            last_err: None,
+        }));
+        for target in targets {
+            let state = state.clone();
+            let done: Box<dyn FnOnce(Result<(), RefError>)> = Box::new(move |res| {
+                let mut st = state.borrow_mut();
+                st.remaining -= 1;
+                match res {
+                    Ok(()) if !st.done => {
+                        st.done = true;
+                        if let Some(cb) = st.cb.take() {
+                            drop(st);
+                            cb(Ok(()));
+                        }
+                    }
+                    Ok(()) => {}
+                    Err(e) => {
+                        st.last_err = Some(e);
+                        if st.remaining == 0 && !st.done {
+                            let err = st.last_err.take().expect("error recorded");
+                            if let Some(cb) = st.cb.take() {
+                                drop(st);
+                                cb(Err(err));
+                            }
+                        }
+                    }
+                }
+            });
+            match target {
+                Target::Bt(r) => r.publish(&item, key.clone(), done),
+                Target::Wifi(r) => r.publish(&item, key.clone(), done),
+            }
+        }
+    }
+
+    /// Withdraws a published item from every reference.
+    pub fn unpublish(&self, cxt_type: &str) {
+        let (bt, wifi) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.published.remove(cxt_type);
+            (inner.bt.clone(), inner.wifi.clone())
+        };
+        if let Some(bt) = bt {
+            bt.unpublish(cxt_type);
+        }
+        if let Some(wifi) = wifi {
+            wifi.unpublish(cxt_type);
+        }
+    }
+
+    /// Context types currently published.
+    pub fn published_types(&self) -> Vec<String> {
+        self.inner.borrow().published.keys().cloned().collect()
+    }
+}
+
+enum Target {
+    Bt(Rc<dyn BtReference>),
+    Wifi(Rc<dyn WifiReference>),
+}
+
+struct PublishState {
+    remaining: usize,
+    done: bool,
+    cb: Option<Box<dyn FnOnce(Result<(), RefError>)>>,
+    last_err: Option<RefError>,
+}
+
+impl fmt::Debug for CxtPublisher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CxtPublisher")
+            .field("published", &self.inner.borrow().published.len())
+            .finish()
+    }
+}

@@ -1,0 +1,42 @@
+//! The Contory context query language (§4.2).
+//!
+//! ```text
+//! SELECT <context name>                      (mandatory)
+//! FROM <source>                              (optional: middleware picks)
+//! WHERE <predicate clause>                   (metadata filters)
+//! FRESHNESS <time>                           (maximum data age)
+//! DURATION <duration>                        (mandatory: time or samples)
+//! EVERY <time> | EVENT <predicate clause>    (long-running queries)
+//! ```
+//!
+//! Example from the paper:
+//!
+//! ```
+//! use contory::query::{CxtQuery, NumNodes, QueryMode, Source};
+//! use simkit::SimDuration;
+//!
+//! let q = CxtQuery::parse(
+//!     "SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 \
+//!      FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25",
+//! )?;
+//! assert_eq!(q.select, "temperature");
+//! assert_eq!(
+//!     q.from,
+//!     Some(Source::AdHocNetwork { num_nodes: NumNodes::First(10), num_hops: 3 })
+//! );
+//! assert_eq!(q.freshness, Some(SimDuration::from_secs(30)));
+//! assert!(matches!(q.mode, QueryMode::Event(_)));
+//! # Ok::<(), contory::query::ParseQueryError>(())
+//! ```
+
+mod ast;
+mod builder;
+mod lexer;
+mod parser;
+
+pub use ast::{
+    AggFunc, CmpOp, CxtQuery, DurationClause, EventExpr, EventTerm, NumNodes, PredValue,
+    QueryMode, Source, WherePredicate,
+};
+pub use builder::QueryBuilder;
+pub use parser::ParseQueryError;

@@ -1,0 +1,212 @@
+//! The CxtRepository (§4.3): "responsible for storing gathered context
+//! information, locally or remotely. Only a few recent context data are
+//! stored locally, while complete logs can be stored in remote
+//! repositories of context infrastructures."
+
+use crate::item::CxtItem;
+use crate::refs::{CellReference, RefError};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+struct Inner {
+    per_type: BTreeMap<String, VecDeque<CxtItem>>,
+    cap_per_type: usize,
+    remote: Option<Rc<dyn CellReference>>,
+}
+
+/// Shared handle to the context repository.
+///
+/// ```
+/// use contory::{CxtItem, CxtRepository, CxtValue};
+/// use simkit::SimTime;
+///
+/// let repo = CxtRepository::new(4);
+/// repo.store_local(CxtItem::new("wind", CxtValue::number(5.0), SimTime::ZERO));
+/// assert_eq!(repo.recent("wind", 10).len(), 1);
+/// assert!(repo.latest("temperature").is_none());
+/// ```
+#[derive(Clone)]
+pub struct CxtRepository {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl CxtRepository {
+    /// Creates a repository keeping at most `cap_per_type` recent items
+    /// of each context type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_per_type` is zero.
+    pub fn new(cap_per_type: usize) -> Self {
+        assert!(cap_per_type > 0, "capacity must be non-zero");
+        CxtRepository {
+            inner: Rc::new(RefCell::new(Inner {
+                per_type: BTreeMap::new(),
+                cap_per_type,
+                remote: None,
+            })),
+        }
+    }
+
+    /// Wires the remote repository (the context infrastructure reached
+    /// through the `2G/3GReference`).
+    pub fn set_remote(&self, cell: Rc<dyn CellReference>) {
+        self.inner.borrow_mut().remote = Some(cell);
+    }
+
+    /// Stores an item in the local ring for its type.
+    pub fn store_local(&self, item: CxtItem) {
+        let mut inner = self.inner.borrow_mut();
+        let cap = inner.cap_per_type;
+        let ring = inner.per_type.entry(item.cxt_type.clone()).or_default();
+        if ring.len() >= cap {
+            ring.pop_front();
+        }
+        ring.push_back(item);
+    }
+
+    /// Stores an item in the remote repository (`storeCxtItem`). The
+    /// callback observes the transfer outcome.
+    ///
+    /// # Errors
+    ///
+    /// The callback receives [`RefError::Unavailable`] if no remote
+    /// repository is configured or the cellular link is down.
+    pub fn store_remote(&self, item: CxtItem, cb: Box<dyn FnOnce(Result<(), RefError>)>) {
+        let remote = self.inner.borrow().remote.clone();
+        match remote {
+            Some(cell) => cell.store(&item, cb),
+            None => cb(Err(RefError::Unavailable(
+                "no remote repository configured".into(),
+            ))),
+        }
+    }
+
+    /// The `n` most recent locally stored items of a type, oldest first.
+    pub fn recent(&self, cxt_type: &str, n: usize) -> Vec<CxtItem> {
+        let inner = self.inner.borrow();
+        match inner.per_type.get(cxt_type) {
+            Some(ring) => ring.iter().rev().take(n).rev().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The most recent locally stored item of a type.
+    pub fn latest(&self, cxt_type: &str) -> Option<CxtItem> {
+        self.inner
+            .borrow()
+            .per_type
+            .get(cxt_type)
+            .and_then(|r| r.back().cloned())
+    }
+
+    /// Total items stored locally.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().per_type.values().map(VecDeque::len).sum()
+    }
+
+    /// True if nothing is stored locally.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops the oldest half of every ring (the `reduceMemory` action).
+    pub fn trim(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for ring in inner.per_type.values_mut() {
+            let keep = ring.len().div_ceil(2);
+            while ring.len() > keep {
+                ring.pop_front();
+            }
+        }
+    }
+}
+
+impl fmt::Debug for CxtRepository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CxtRepository")
+            .field("items", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::CxtValue;
+    use simkit::SimTime;
+
+    fn item(t: &str, v: f64, at: u64) -> CxtItem {
+        CxtItem::new(t, CxtValue::number(v), SimTime::from_secs(at))
+    }
+
+    #[test]
+    fn ring_keeps_only_recent() {
+        let repo = CxtRepository::new(3);
+        for i in 0..5 {
+            repo.store_local(item("wind", i as f64, i));
+        }
+        let recent = repo.recent("wind", 10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].value.as_f64(), Some(2.0));
+        assert_eq!(repo.latest("wind").unwrap().value.as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn recent_n_limits_from_the_newest_side() {
+        let repo = CxtRepository::new(10);
+        for i in 0..5 {
+            repo.store_local(item("t", i as f64, i));
+        }
+        let two = repo.recent("t", 2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0].value.as_f64(), Some(3.0));
+        assert_eq!(two[1].value.as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn types_are_independent() {
+        let repo = CxtRepository::new(2);
+        repo.store_local(item("a", 1.0, 1));
+        repo.store_local(item("b", 2.0, 1));
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.recent("a", 10).len(), 1);
+    }
+
+    #[test]
+    fn trim_halves_rings() {
+        let repo = CxtRepository::new(8);
+        for i in 0..8 {
+            repo.store_local(item("t", i as f64, i));
+        }
+        repo.trim();
+        assert_eq!(repo.len(), 4);
+        assert_eq!(repo.latest("t").unwrap().value.as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn store_remote_without_remote_fails() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let repo = CxtRepository::new(2);
+        let observed = Rc::new(Cell::new(false));
+        let o = observed.clone();
+        repo.store_remote(
+            item("t", 1.0, 1),
+            Box::new(move |res| {
+                assert!(matches!(res, Err(RefError::Unavailable(_))));
+                o.set(true);
+            }),
+        );
+        assert!(observed.get(), "callback ran synchronously");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = CxtRepository::new(0);
+    }
+}

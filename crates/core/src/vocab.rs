@@ -1,0 +1,84 @@
+//! The three vocabularies exposed to application developers (§4.4):
+//! `CxtVocabulary` (context and metadata types), `QueryVocabulary`
+//! (query clause keywords) and `CxtRulesVocabulary` (control-policy
+//! operators and actions).
+
+/// Context type names (`CxtVocabulary`). Spatial, temporal, user-status,
+/// environmental and resource categories per §4.1.
+pub mod cxt_types {
+    /// Geographic position.
+    pub const LOCATION: &str = "location";
+    /// Movement speed.
+    pub const SPEED: &str = "speed";
+    /// User activity (walking, sailing…).
+    pub const ACTIVITY: &str = "activity";
+    /// Air temperature.
+    pub const TEMPERATURE: &str = "temperature";
+    /// Ambient light.
+    pub const LIGHT: &str = "light";
+    /// Ambient noise.
+    pub const NOISE: &str = "noise";
+    /// Wind speed.
+    pub const WIND: &str = "wind";
+    /// Relative humidity.
+    pub const HUMIDITY: &str = "humidity";
+    /// Atmospheric pressure.
+    pub const PRESSURE: &str = "pressure";
+    /// Nearby devices count.
+    pub const NEARBY_DEVICES: &str = "nearbyDevices";
+    /// Remaining battery of the device.
+    pub const DEVICE_POWER: &str = "devicePower";
+}
+
+/// Metadata keys usable in WHERE clauses (`CxtVocabulary`).
+pub mod metadata_keys {
+    /// Closeness to the true state.
+    pub const CORRECTNESS: &str = "correctness";
+    /// Measurement precision.
+    pub const PRECISION: &str = "precision";
+    /// Measurement accuracy.
+    pub const ACCURACY: &str = "accuracy";
+    /// Fraction of information known.
+    pub const COMPLETENESS: &str = "completeness";
+    /// Privacy label.
+    pub const PRIVACY: &str = "privacy";
+    /// Source trust level.
+    pub const TRUST: &str = "trust";
+}
+
+/// Condition operators of the `CxtRulesVocabulary` (§4.3: "the operators
+/// currently supported are equal, notEqual, moreThan, and lessThan").
+pub mod operators {
+    /// Equality.
+    pub const EQUAL: &str = "equal";
+    /// Inequality.
+    pub const NOT_EQUAL: &str = "notEqual";
+    /// Strictly greater.
+    pub const MORE_THAN: &str = "moreThan";
+    /// Strictly smaller.
+    pub const LESS_THAN: &str = "lessThan";
+}
+
+/// Control-policy actions of the `CxtRulesVocabulary` (§4.3: "Actions
+/// currently supported are reducePower, reduceMemory, and reduceLoad").
+pub mod rule_actions {
+    /// Suspend or downgrade energy-hungry provisioning.
+    pub const REDUCE_POWER: &str = "reducePower";
+    /// Trim local context storage.
+    pub const REDUCE_MEMORY: &str = "reduceMemory";
+    /// Lower provisioning rates.
+    pub const REDUCE_LOAD: &str = "reduceLoad";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_values_are_paper_spelling() {
+        assert_eq!(cxt_types::NEARBY_DEVICES, "nearbyDevices");
+        assert_eq!(operators::NOT_EQUAL, "notEqual");
+        assert_eq!(rule_actions::REDUCE_POWER, "reducePower");
+        assert_eq!(metadata_keys::ACCURACY, "accuracy");
+    }
+}

@@ -1,0 +1,843 @@
+//! Middleware-level integration tests: the ContextFactory over mock
+//! references. These exercise query processing, merging, failover,
+//! policies and the public API without the simulated radios (the real
+//! platform wiring is tested in `contory-testbed`).
+
+use contory::policy::{Condition, ContextRule, RuleAction};
+use contory::query::{CxtQuery, QueryBuilder};
+use contory::refs::{
+    AdHocSpec, BtReference, CellReference, Done, InfraPushMode, InfraSpec, InfraSubHandle,
+    InternalReference, ItemsResult, OnItems, OnRefError, RefError, References, StreamHandle,
+};
+use contory::{
+    CollectingClient, ContextFactory, CxtItem, CxtValue, FactoryConfig, Mechanism, QueryId,
+    ResourceEvent, ResourceLevel, SourceId,
+};
+use simkit::{Sim, SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+// ------------------------------------------------------------------
+// Mock references
+// ------------------------------------------------------------------
+
+#[derive(Clone)]
+struct MockInternal {
+    sim: Sim,
+    types: Vec<String>,
+    value: Rc<Cell<f64>>,
+}
+
+impl MockInternal {
+    fn new(sim: &Sim, types: &[&str]) -> Self {
+        MockInternal {
+            sim: sim.clone(),
+            types: types.iter().map(|s| s.to_string()).collect(),
+            value: Rc::new(Cell::new(20.0)),
+        }
+    }
+}
+
+impl InternalReference for MockInternal {
+    fn provides(&self, cxt_type: &str) -> bool {
+        self.types.iter().any(|t| t == cxt_type)
+    }
+
+    fn sample(&self, cxt_type: &str, cb: Done<Result<CxtItem, RefError>>) {
+        let item = CxtItem::new(
+            cxt_type,
+            CxtValue::number(self.value.get()),
+            self.sim.now(),
+        )
+        .with_accuracy(0.1)
+        .with_source("int://mock");
+        self.sim
+            .schedule_in(SimDuration::from_micros(78), move || cb(Ok(item)));
+    }
+}
+
+struct MockBtState {
+    available: bool,
+    sensor_present: bool,
+    adhoc_items: Vec<CxtItem>,
+    streams: Vec<(StreamHandle, OnItems, OnRefError)>,
+    subs: Vec<StreamHandle>,
+    next_stream: u64,
+    published: Vec<CxtItem>,
+    discoveries: u64,
+}
+
+#[derive(Clone)]
+struct MockBt {
+    sim: Sim,
+    state: Rc<RefCell<MockBtState>>,
+}
+
+impl MockBt {
+    fn new(sim: &Sim) -> Self {
+        MockBt {
+            sim: sim.clone(),
+            state: Rc::new(RefCell::new(MockBtState {
+                available: true,
+                sensor_present: true,
+                adhoc_items: Vec::new(),
+                streams: Vec::new(),
+                subs: Vec::new(),
+                next_stream: 0,
+                published: Vec::new(),
+                discoveries: 0,
+            })),
+        }
+    }
+
+    fn set_adhoc_items(&self, items: Vec<CxtItem>) {
+        self.state.borrow_mut().adhoc_items = items;
+    }
+
+    /// Kills the attached sensor: every open stream reports an error.
+    fn fail_sensor(&self) {
+        let streams = {
+            let mut st = self.state.borrow_mut();
+            st.sensor_present = false;
+            std::mem::take(&mut st.streams)
+        };
+        for (_h, _items, on_error) in streams {
+            on_error(RefError::Unavailable("sensor link lost".into()));
+        }
+    }
+
+    fn restore_sensor(&self) {
+        self.state.borrow_mut().sensor_present = true;
+    }
+
+    fn discoveries(&self) -> u64 {
+        self.state.borrow().discoveries
+    }
+
+    fn published(&self) -> Vec<CxtItem> {
+        self.state.borrow().published.clone()
+    }
+}
+
+impl BtReference for MockBt {
+    fn is_available(&self) -> bool {
+        self.state.borrow().available
+    }
+
+    fn discover_sensor(&self, _cxt_type: &str, cb: Done<Result<SourceId, RefError>>) {
+        self.state.borrow_mut().discoveries += 1;
+        let state = self.state.clone();
+        self.sim.schedule_in(SimDuration::from_secs(14), move || {
+            if state.borrow().sensor_present {
+                cb(Ok(SourceId::new("btgps://mock")))
+            } else {
+                cb(Err(RefError::NotFound("no gps in range".into())))
+            }
+        });
+    }
+
+    fn open_sensor_stream(
+        &self,
+        _source: &SourceId,
+        cxt_type: &str,
+        on_items: OnItems,
+        on_error: OnRefError,
+        cb: Done<Result<StreamHandle, RefError>>,
+    ) {
+        let handle = {
+            let mut st = self.state.borrow_mut();
+            st.next_stream += 1;
+            let h = StreamHandle(st.next_stream);
+            st.streams.push((h, on_items.clone(), on_error));
+            h
+        };
+        // Stream one location item per second while the stream is open.
+        let state = self.state.clone();
+        let sim = self.sim.clone();
+        let cxt_type = cxt_type.to_owned();
+        self.sim.schedule_repeating(SimDuration::from_secs(1), move || {
+            let st = state.borrow();
+            if !st.streams.iter().any(|(h, _, _)| *h == handle) {
+                return false;
+            }
+            if !st.sensor_present {
+                return true; // silent until fail_sensor fires errors
+            }
+            let item = CxtItem::new(
+                cxt_type.clone(),
+                CxtValue::Position { x: 1.0, y: 2.0 },
+                sim.now(),
+            )
+            .with_accuracy(5.0)
+            .with_source("btgps://mock");
+            drop(st);
+            on_items(vec![item]);
+            true
+        });
+        self.sim
+            .schedule_in(SimDuration::from_millis(640), move || cb(Ok(handle)));
+    }
+
+    fn close_sensor_stream(&self, handle: StreamHandle) {
+        self.state
+            .borrow_mut()
+            .streams
+            .retain(|(h, _, _)| *h != handle);
+    }
+
+    fn adhoc_round(&self, spec: &AdHocSpec, cb: Done<ItemsResult>) {
+        let state = self.state.clone();
+        let cxt_type = spec.cxt_type.clone();
+        self.sim.schedule_in(SimDuration::from_millis(32), move || {
+            let st = state.borrow();
+            if !st.available {
+                cb(Err(RefError::Unavailable("bt off".into())));
+                return;
+            }
+            let items: Vec<CxtItem> = st
+                .adhoc_items
+                .iter()
+                .filter(|i| i.cxt_type == cxt_type)
+                .cloned()
+                .collect();
+            cb(Ok(items));
+        });
+    }
+
+    fn adhoc_subscribe(
+        &self,
+        spec: &AdHocSpec,
+        period: simkit::SimDuration,
+        on_items: OnItems,
+        on_error: OnRefError,
+    ) -> StreamHandle {
+        let handle = {
+            let mut st = self.state.borrow_mut();
+            st.next_stream += 1;
+            let h = StreamHandle(st.next_stream);
+            st.subs.push(h);
+            h
+        };
+        let state = self.state.clone();
+        let cxt_type = spec.cxt_type.clone();
+        self.sim.schedule_repeating(period, move |
+| {
+            let st = state.borrow();
+            if !st.subs.contains(&handle) {
+                return false;
+            }
+            if !st.available {
+                drop(st);
+                on_error(RefError::Unavailable("bt off".into()));
+                return false;
+            }
+            let items: Vec<CxtItem> = st
+                .adhoc_items
+                .iter()
+                .filter(|i| i.cxt_type == cxt_type)
+                .cloned()
+                .collect();
+            drop(st);
+            if !items.is_empty() {
+                on_items(items);
+            }
+            true
+        });
+        handle
+    }
+
+    fn adhoc_unsubscribe(&self, handle: StreamHandle) {
+        self.state.borrow_mut().subs.retain(|&h| h != handle);
+    }
+
+    fn publish(&self, item: &CxtItem, _key: Option<String>, cb: Done<Result<(), RefError>>) {
+        self.state.borrow_mut().published.push(item.clone());
+        self.sim
+            .schedule_in(SimDuration::from_micros(140_359), move || cb(Ok(())));
+    }
+
+    fn unpublish(&self, cxt_type: &str) {
+        self.state
+            .borrow_mut()
+            .published
+            .retain(|i| i.cxt_type != cxt_type);
+    }
+}
+
+#[derive(Clone)]
+struct MockCell {
+    sim: Sim,
+    stored: Rc<RefCell<Vec<CxtItem>>>,
+    canned: Rc<RefCell<Vec<CxtItem>>>,
+    available: Rc<Cell<bool>>,
+    subs: Rc<RefCell<Vec<(InfraSubHandle, OnItems)>>>,
+    next_sub: Rc<Cell<u64>>,
+}
+
+impl MockCell {
+    fn new(sim: &Sim) -> Self {
+        MockCell {
+            sim: sim.clone(),
+            stored: Rc::new(RefCell::new(Vec::new())),
+            canned: Rc::new(RefCell::new(Vec::new())),
+            available: Rc::new(Cell::new(true)),
+            subs: Rc::new(RefCell::new(Vec::new())),
+            next_sub: Rc::new(Cell::new(0)),
+        }
+    }
+
+    fn set_canned(&self, items: Vec<CxtItem>) {
+        *self.canned.borrow_mut() = items;
+    }
+}
+
+impl CellReference for MockCell {
+    fn is_available(&self) -> bool {
+        self.available.get()
+    }
+
+    fn store(&self, item: &CxtItem, cb: Done<Result<(), RefError>>) {
+        self.stored.borrow_mut().push(item.clone());
+        self.sim
+            .schedule_in(SimDuration::from_millis(773), move || cb(Ok(())));
+    }
+
+    fn fetch(&self, spec: &InfraSpec, cb: Done<ItemsResult>) {
+        let canned = self.canned.clone();
+        let cxt_type = spec.cxt_type.clone();
+        self.sim.schedule_in(SimDuration::from_millis(1_473), move || {
+            let items: Vec<CxtItem> = canned
+                .borrow()
+                .iter()
+                .filter(|i| i.cxt_type == cxt_type)
+                .cloned()
+                .collect();
+            cb(Ok(items));
+        });
+    }
+
+    fn subscribe(
+        &self,
+        spec: &InfraSpec,
+        mode: InfraPushMode,
+        on_items: OnItems,
+    ) -> InfraSubHandle {
+        self.next_sub.set(self.next_sub.get() + 1);
+        let handle = InfraSubHandle(self.next_sub.get());
+        self.subs.borrow_mut().push((handle, on_items.clone()));
+        if let InfraPushMode::Periodic(every) = mode {
+            let subs = self.subs.clone();
+            let canned = self.canned.clone();
+            let cxt_type = spec.cxt_type.clone();
+            self.sim.schedule_repeating(every, move || {
+                if !subs.borrow().iter().any(|(h, _)| *h == handle) {
+                    return false;
+                }
+                let items: Vec<CxtItem> = canned
+                    .borrow()
+                    .iter()
+                    .filter(|i| i.cxt_type == cxt_type)
+                    .cloned()
+                    .collect();
+                if !items.is_empty() {
+                    on_items(items);
+                }
+                true
+            });
+        }
+        handle
+    }
+
+    fn unsubscribe(&self, handle: InfraSubHandle) {
+        self.subs.borrow_mut().retain(|(h, _)| *h != handle);
+    }
+}
+
+// ------------------------------------------------------------------
+// Rig
+// ------------------------------------------------------------------
+
+struct Rig {
+    sim: Sim,
+    factory: ContextFactory,
+    internal: MockInternal,
+    bt: MockBt,
+    cell: MockCell,
+    client: Rc<CollectingClient>,
+}
+
+fn rig_with(types: &[&str]) -> Rig {
+    let sim = Sim::new();
+    let internal = MockInternal::new(&sim, types);
+    let bt = MockBt::new(&sim);
+    let cell = MockCell::new(&sim);
+    let refs = References {
+        internal: Some(Rc::new(internal.clone())),
+        bt: Some(Rc::new(bt.clone())),
+        wifi: None,
+        cell: Some(Rc::new(cell.clone())),
+    };
+    let factory = ContextFactory::new(&sim, refs, FactoryConfig::default());
+    Rig {
+        sim,
+        factory,
+        internal,
+        bt,
+        cell,
+        client: Rc::new(CollectingClient::new()),
+    }
+}
+
+fn rig() -> Rig {
+    rig_with(&["temperature", "light"])
+}
+
+fn temp_item(v: f64, acc: f64, at: SimTime) -> CxtItem {
+    CxtItem::new("temperature", CxtValue::quantity(v, "C"), at)
+        .with_accuracy(acc)
+        .with_source("peer://boat")
+}
+
+// ------------------------------------------------------------------
+// Tests
+// ------------------------------------------------------------------
+
+#[test]
+fn periodic_internal_query_delivers_at_rate_and_expires() {
+    let r = rig();
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM intSensor DURATION 1 min EVERY 5 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    assert_eq!(r.factory.mechanism_of(id), Some(Mechanism::IntSensor));
+    r.sim.run_for(SimDuration::from_secs(61));
+    let items = r.client.items_for(id);
+    // Ticks at 5 s..55 s deliver; the 60 s sample is still in flight
+    // (78 us sensor latency) when the DURATION expiry fires.
+    assert_eq!(items.len(), 11, "one item per 5 s over the 60 s lifetime");
+    assert_eq!(r.factory.active_queries(), 0, "expired after DURATION");
+    // no further deliveries after expiry
+    let settled = items.len();
+    r.sim.run_for(SimDuration::from_secs(30));
+    assert_eq!(r.client.items_for(id).len(), settled);
+}
+
+#[test]
+fn sample_budget_retires_the_query() {
+    let r = rig();
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM intSensor DURATION 3 samples EVERY 2 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    r.sim.run_for(SimDuration::from_secs(30));
+    assert_eq!(r.client.items_for(id).len(), 3);
+    assert_eq!(r.factory.active_queries(), 0);
+}
+
+#[test]
+fn on_demand_query_delivers_once() {
+    let r = rig();
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM intSensor DURATION 1 samples",
+            r.client.clone(),
+        )
+        .unwrap();
+    r.sim.run_for(SimDuration::from_secs(10));
+    assert_eq!(r.client.items_for(id).len(), 1);
+    assert_eq!(r.factory.active_queries(), 0);
+}
+
+#[test]
+fn mergeable_queries_share_one_provider_with_post_extraction() {
+    let r = rig();
+    // Ad hoc items with different accuracies.
+    let now = SimTime::ZERO;
+    r.bt.set_adhoc_items(vec![
+        temp_item(20.0, 0.1, now),
+        temp_item(21.0, 0.4, now),
+    ]);
+    let strict = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM adHocNetwork(all,1) WHERE accuracy=0.2 \
+             DURATION 1 hour EVERY 10 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    let loose = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM adHocNetwork(all,1) WHERE accuracy=0.5 \
+             DURATION 1 hour EVERY 10 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    // One provider serves both (query merging).
+    let facade = r.factory.facade(Mechanism::AdHocBt).unwrap();
+    assert_eq!(facade.provider_count(), 1);
+    // Refresh item timestamps so FRESHNESS-free queries still match.
+    r.sim.run_for(SimDuration::from_secs(25));
+    let strict_items = r.client.items_for(strict);
+    let loose_items = r.client.items_for(loose);
+    assert!(!strict_items.is_empty());
+    // Post-extraction: the strict query never sees the 0.4-accuracy item.
+    assert!(strict_items
+        .iter()
+        .all(|i| i.metadata.accuracy.unwrap() <= 0.2));
+    assert!(loose_items.len() > strict_items.len());
+}
+
+#[test]
+fn cancel_returns_error_for_unknown_query() {
+    let r = rig();
+    assert!(r.factory.cancel_cxt_query(QueryId(99)).is_err());
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM intSensor DURATION 1 hour EVERY 5 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    r.factory.cancel_cxt_query(id).unwrap();
+    assert_eq!(r.factory.active_queries(), 0);
+    r.sim.run_for(SimDuration::from_secs(20));
+    assert!(r.client.items_for(id).is_empty());
+}
+
+#[test]
+fn bt_sensor_failure_triggers_failover_and_recovery() {
+    // The Fig. 5 scenario at middleware level: a location query served by
+    // a BT-GPS stream fails over to BT ad hoc provisioning, then returns
+    // once the sensor is rediscovered.
+    let r = rig_with(&[]); // no internal sensors: location comes over BT
+    r.bt.set_adhoc_items(vec![CxtItem::new(
+        "location",
+        CxtValue::Position { x: 50.0, y: 60.0 },
+        SimTime::ZERO,
+    )
+    .with_accuracy(30.0)
+    .with_source("peer://neighbor")]);
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT location FROM intSensor DURATION 2 hour EVERY 5 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    // Discovery (~14 s) then streaming.
+    r.sim.run_for(SimDuration::from_secs(40));
+    assert_eq!(r.factory.mechanism_of(id), Some(Mechanism::IntSensor));
+    let before = r.client.items_for(id).len();
+    assert!(before > 0, "sensor items should flow");
+
+    // GPS dies.
+    r.bt.fail_sensor();
+    r.sim.run_for(SimDuration::from_secs(60));
+    assert_eq!(
+        r.factory.mechanism_of(id),
+        Some(Mechanism::AdHocBt),
+        "switched to ad hoc provisioning"
+    );
+    let during = r.client.items_for(id).len();
+    assert!(during > before, "ad hoc items keep the query alive");
+    assert!(r
+        .client
+        .errors()
+        .iter()
+        .any(|e| e.contains("switched provisioning")));
+
+    // GPS comes back; the recovery probe (every 30 s) rediscovers it.
+    r.bt.restore_sensor();
+    r.sim.run_for(SimDuration::from_secs(120));
+    assert_eq!(
+        r.factory.mechanism_of(id),
+        Some(Mechanism::IntSensor),
+        "switched back after recovery"
+    );
+    assert!(r.bt.discoveries() >= 2, "recovery used BT discovery");
+    let after = r.client.items_for(id).len();
+    r.sim.run_for(SimDuration::from_secs(20));
+    assert!(r.client.items_for(id).len() > after, "items flow again");
+}
+
+#[test]
+fn no_mechanism_yields_an_error() {
+    let sim = Sim::new();
+    let factory = ContextFactory::new(&sim, References::none(), FactoryConfig::default());
+    let client = Rc::new(CollectingClient::new());
+    let err = factory
+        .process_cxt_query_text("SELECT temperature DURATION 1 min", client)
+        .unwrap_err();
+    assert!(err.to_string().contains("no mechanism"), "{err}");
+    assert_eq!(factory.active_queries(), 0);
+}
+
+#[test]
+fn infra_query_uses_cell_reference() {
+    let r = rig_with(&[]);
+    r.cell
+        .set_canned(vec![temp_item(18.0, 0.3, SimTime::ZERO)]);
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM extInfra DURATION 1 samples",
+            r.client.clone(),
+        )
+        .unwrap();
+    assert_eq!(r.factory.mechanism_of(id), Some(Mechanism::Infra));
+    r.sim.run_for(SimDuration::from_secs(5));
+    assert_eq!(r.client.items_for(id).len(), 1);
+}
+
+#[test]
+fn event_query_fires_on_rising_edge_only() {
+    let r = rig();
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM intSensor FRESHNESS 20 sec DURATION 1 hour \
+             EVENT AVG(temperature)>25",
+            r.client.clone(),
+        )
+        .unwrap();
+    // Below threshold: no deliveries.
+    r.internal.value.set(20.0);
+    r.sim.run_for(SimDuration::from_secs(30));
+    assert!(r.client.items_for(id).is_empty());
+    // Cross the threshold.
+    r.internal.value.set(30.0);
+    r.sim.run_for(SimDuration::from_secs(60));
+    let fired = r.client.items_for(id).len();
+    assert!(fired >= 1, "event should fire after AVG crosses 25");
+    // Holding above threshold does not re-fire (edge-triggered).
+    r.sim.run_for(SimDuration::from_secs(60));
+    assert_eq!(r.client.items_for(id).len(), fired);
+    // Drop below, then cross again -> fires once more.
+    r.internal.value.set(10.0);
+    r.sim.run_for(SimDuration::from_secs(120));
+    r.internal.value.set(35.0);
+    r.sim.run_for(SimDuration::from_secs(60));
+    assert!(r.client.items_for(id).len() > fired);
+}
+
+#[test]
+fn reduce_power_policy_moves_queries_off_umts() {
+    let r = rig_with(&[]);
+    r.cell
+        .set_canned(vec![temp_item(18.0, 0.3, SimTime::ZERO)]);
+    r.bt.set_adhoc_items(vec![temp_item(19.0, 0.3, SimTime::ZERO)]);
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM extInfra DURATION 2 hour EVERY 10 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    assert_eq!(r.factory.mechanism_of(id), Some(Mechanism::Infra));
+    r.factory.add_rule(ContextRule::new(
+        Condition::parse("<batteryLevel, equal, low>").unwrap(),
+        RuleAction::ReducePower,
+    ));
+    // Battery drops: the monitor event triggers enforcement.
+    r.factory
+        .monitor()
+        .report(ResourceEvent::Battery(ResourceLevel::Low));
+    assert_eq!(
+        r.factory.mechanism_of(id),
+        Some(Mechanism::AdHocBt),
+        "reducePower replaces UMTS provisioning with BT one-hop"
+    );
+    assert!(r
+        .client
+        .errors()
+        .iter()
+        .any(|e| e.contains("reducePower")));
+}
+
+#[test]
+fn reduce_memory_policy_trims_the_repository() {
+    let r = rig();
+    let repo = r.factory.repository();
+    for i in 0..8 {
+        repo.store_local(temp_item(i as f64, 0.1, SimTime::ZERO));
+    }
+    assert_eq!(repo.len(), 8);
+    r.factory.add_rule(ContextRule::new(
+        Condition::parse("<memoryUtilization, moreThan, 0.8>").unwrap(),
+        RuleAction::ReduceMemory,
+    ));
+    r.factory.monitor().report(ResourceEvent::Memory(0.9));
+    assert_eq!(repo.len(), 4, "reduceMemory halves local storage");
+}
+
+#[test]
+fn publishing_requires_registration() {
+    let r = rig();
+    let item = temp_item(14.0, 0.2, SimTime::ZERO);
+    let err = r.factory.publish_cxt_item(item.clone(), None).unwrap_err();
+    assert!(err.to_string().contains("registered"));
+    r.factory.register_cxt_server("sailing-app");
+    r.factory.publish_cxt_item(item, None).unwrap();
+    r.sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(r.bt.published().len(), 1);
+    r.factory.unpublish_cxt_item("temperature");
+    assert!(r.bt.published().is_empty());
+    r.factory.deregister_cxt_server("sailing-app");
+    let err = r
+        .factory
+        .publish_cxt_item(temp_item(15.0, 0.2, SimTime::ZERO), None)
+        .unwrap_err();
+    assert!(err.to_string().contains("registered"));
+}
+
+#[test]
+fn store_cxt_item_goes_local_and_remote() {
+    let r = rig();
+    let item = temp_item(14.0, 0.2, SimTime::ZERO);
+    r.factory.store_cxt_item(item.clone());
+    r.sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(r.factory.repository().latest("temperature"), Some(item));
+    assert_eq!(r.cell.stored.borrow().len(), 1);
+}
+
+#[test]
+fn delivered_items_land_in_the_repository() {
+    let r = rig();
+    let _id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM intSensor DURATION 10 samples EVERY 2 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    r.sim.run_for(SimDuration::from_secs(10));
+    assert!(r.factory.repository().latest("temperature").is_some());
+}
+
+#[test]
+fn candidates_respect_from_clause_and_hardware() {
+    let r = rig();
+    let q = CxtQuery::parse("SELECT temperature FROM extInfra DURATION 1 min").unwrap();
+    assert_eq!(r.factory.candidates(&q)[0], Mechanism::Infra);
+    let q = CxtQuery::parse("SELECT temperature FROM adHocNetwork(all,3) DURATION 1 min").unwrap();
+    // No WiFi on this rig: multi-hop request falls back to BT then infra.
+    assert_eq!(
+        r.factory.candidates(&q),
+        vec![Mechanism::AdHocBt, Mechanism::Infra]
+    );
+    let q = QueryBuilder::select("temperature").build();
+    assert_eq!(r.factory.candidates(&q)[0], Mechanism::IntSensor);
+    // Unknown type without internal sensor: intSensor still possible via BT.
+    let q = QueryBuilder::select("heartRate").build();
+    assert_eq!(r.factory.candidates(&q)[0], Mechanism::AdHocBt);
+}
+
+#[test]
+fn unparseable_query_reports_parse_error() {
+    let r = rig();
+    let err = r
+        .factory
+        .process_cxt_query_text("SELECT", r.client.clone())
+        .unwrap_err();
+    assert!(matches!(err, contory::ContoryError::Parse(_)));
+}
+
+#[test]
+fn high_security_mode_gates_unknown_sources_via_make_decision() {
+    // §4.3/§4.4: in high-security mode every new context source is
+    // "blocked or admitted based on explicit validation by the
+    // application" (Client::makeDecision).
+    let sim = Sim::new();
+    let internal = MockInternal::new(&sim, &[]);
+    let bt = MockBt::new(&sim);
+    bt.set_adhoc_items(vec![temp_item(20.0, 0.1, SimTime::ZERO)]);
+    let refs = References {
+        internal: Some(Rc::new(internal)),
+        bt: Some(Rc::new(bt)),
+        wifi: None,
+        cell: None,
+    };
+    let factory = ContextFactory::new(
+        &sim,
+        refs,
+        FactoryConfig {
+            security: contory::SecurityMode::High,
+            ..FactoryConfig::default()
+        },
+    );
+    // Client that refuses unknown sources.
+    let denier = Rc::new(CollectingClient::new());
+    denier.set_decision(false);
+    let id = factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM adHocNetwork(all,1) DURATION 1 hour EVERY 10 sec",
+            denier.clone(),
+        )
+        .unwrap();
+    sim.run_for(SimDuration::from_secs(35));
+    assert!(denier.items_for(id).is_empty(), "denied source must not leak");
+    assert!(denier
+        .events()
+        .iter()
+        .any(|e| matches!(e, contory::ClientEvent::Decision(_, false))));
+    factory.cancel_cxt_query(id).unwrap();
+
+    // A client that approves gets the items — but the earlier refusal
+    // blocked the source permanently, so unblock it first.
+    factory
+        .access_controller()
+        .unblock(&contory::SourceId::new("peer://boat"));
+    let approver = Rc::new(CollectingClient::new());
+    approver.set_decision(true);
+    let id2 = factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM adHocNetwork(all,1) DURATION 1 hour EVERY 10 sec",
+            approver.clone(),
+        )
+        .unwrap();
+    sim.run_for(SimDuration::from_secs(35));
+    assert!(!approver.items_for(id2).is_empty(), "approved source flows");
+    // Only one decision was needed: the source is now known.
+    let decisions = approver
+        .events()
+        .iter()
+        .filter(|e| matches!(e, contory::ClientEvent::Decision(_, _)))
+        .count();
+    assert_eq!(decisions, 1);
+}
+
+#[test]
+fn reduce_load_policy_slows_periodic_queries() {
+    let r = rig();
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM intSensor DURATION 1 hour EVERY 5 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    r.sim.run_for(SimDuration::from_secs(60));
+    let before = r.client.items_for(id).len();
+    assert!((10..=13).contains(&before), "baseline rate: {before}");
+    r.factory.add_rule(ContextRule::new(
+        Condition::parse("<batteryLevel, equal, medium>").unwrap(),
+        RuleAction::ReduceLoad,
+    ));
+    r.factory
+        .monitor()
+        .report(ResourceEvent::Battery(ResourceLevel::Medium));
+    r.sim.run_for(SimDuration::from_secs(60));
+    let after = r.client.items_for(id).len() - before;
+    assert!(
+        after <= before / 2 + 2,
+        "reduceLoad should halve the rate: {before} then {after}"
+    );
+}

@@ -1,0 +1,218 @@
+//! The phone-side Fuego endpoint.
+//!
+//! Wraps a [`CellModem`] with the event abstractions Contory's
+//! `2G/3GReference` offers: publish, subscribe and request/response, all
+//! asynchronous with callbacks.
+
+use crate::broker::{Frame, SubId};
+use crate::event::EventNotification;
+use crate::xml::XmlElement;
+use radio::cell::{CellError, CellModem};
+use simkit::{Sim, SimDuration};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors from [`FuegoClient::request`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// No response arrived within the timeout.
+    Timeout,
+    /// The broker has no service registered on the topic.
+    NoService,
+    /// The cellular link failed.
+    Link(CellError),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Timeout => write!(f, "request timed out"),
+            RequestError::NoService => write!(f, "no service on topic"),
+            RequestError::Link(e) => write!(f, "link error: {e}"),
+        }
+    }
+}
+
+impl Error for RequestError {}
+
+type ResponseHandler = Box<dyn FnOnce(Result<EventNotification, RequestError>)>;
+type DeliveryHandler = Rc<dyn Fn(EventNotification)>;
+
+struct ClientInner {
+    sender: String,
+    next_event: u64,
+    next_sub: u64,
+    next_req: u64,
+    pending: HashMap<u64, ResponseHandler>,
+    subs: HashMap<SubId, DeliveryHandler>,
+}
+
+/// A Fuego client bound to one phone's modem.
+#[derive(Clone)]
+pub struct FuegoClient {
+    sim: Sim,
+    modem: CellModem,
+    inner: Rc<RefCell<ClientInner>>,
+}
+
+impl FuegoClient {
+    /// Creates a client and installs itself as the modem's receive
+    /// handler. `sender` identifies this device in event envelopes.
+    pub fn new(sim: &Sim, modem: &CellModem, sender: impl Into<String>) -> Self {
+        let client = FuegoClient {
+            sim: sim.clone(),
+            modem: modem.clone(),
+            inner: Rc::new(RefCell::new(ClientInner {
+                sender: sender.into(),
+                next_event: 0,
+                next_sub: 0,
+                next_req: 0,
+                pending: HashMap::new(),
+                subs: HashMap::new(),
+            })),
+        };
+        let c = client.clone();
+        modem.on_receive(move |payload| {
+            if let Ok(frame) = payload.downcast::<Frame>() {
+                c.handle_downlink(frame.as_ref().clone());
+            }
+        });
+        client
+    }
+
+    /// The underlying modem (for radio control).
+    pub fn modem(&self) -> &CellModem {
+        &self.modem
+    }
+
+    /// Builds a notification stamped with this client's identity, a fresh
+    /// sequence number and the current time.
+    pub fn make_event(&self, topic: impl Into<String>, body: XmlElement) -> EventNotification {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_event += 1;
+        EventNotification::new(topic, inner.sender.clone(), body, self.sim.now())
+            .with_id(inner.next_event)
+    }
+
+    /// Publishes an event. `cb` fires when the uplink transfer completes
+    /// (Table 1's `publishCxtItem` over UMTS measures exactly this).
+    pub fn publish(
+        &self,
+        event: EventNotification,
+        cb: impl FnOnce(Result<(), CellError>) + 'static,
+    ) {
+        let frame = Frame::Publish { event };
+        let size = frame.wire_size();
+        self.modem.send_event(size, Rc::new(frame), cb);
+    }
+
+    /// Subscribes to a topic; `handler` receives every delivery until
+    /// [`FuegoClient::unsubscribe`]. The subscription is registered at the
+    /// broker asynchronously.
+    pub fn subscribe(
+        &self,
+        topic: impl Into<String>,
+        handler: impl Fn(EventNotification) + 'static,
+    ) -> SubId {
+        let sub = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_sub += 1;
+            let sub = SubId(inner.next_sub);
+            inner.subs.insert(sub, Rc::new(handler));
+            sub
+        };
+        let frame = Frame::Subscribe {
+            topic: topic.into(),
+            sub,
+        };
+        let size = frame.wire_size();
+        self.modem.send_event(size, Rc::new(frame), |_res| {});
+        sub
+    }
+
+    /// Cancels a subscription locally and at the broker.
+    pub fn unsubscribe(&self, sub: SubId) {
+        self.inner.borrow_mut().subs.remove(&sub);
+        let frame = Frame::Unsubscribe { sub };
+        let size = frame.wire_size();
+        self.modem.send_event(size, Rc::new(frame), |_res| {});
+    }
+
+    /// Sends a request to a broker service; `cb` receives the response,
+    /// [`RequestError::NoService`], a link error, or
+    /// [`RequestError::Timeout`] if nothing arrives within `timeout`.
+    pub fn request(
+        &self,
+        topic: impl Into<String>,
+        event: EventNotification,
+        timeout: SimDuration,
+        cb: impl FnOnce(Result<EventNotification, RequestError>) + 'static,
+    ) {
+        let req = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_req += 1;
+            let req = inner.next_req;
+            inner.pending.insert(req, Box::new(cb));
+            req
+        };
+        let frame = Frame::Request {
+            topic: topic.into(),
+            req,
+            event,
+        };
+        let size = frame.wire_size();
+        // Timeout watchdog.
+        {
+            let inner = self.inner.clone();
+            self.sim.schedule_in(timeout, move || {
+                if let Some(cb) = inner.borrow_mut().pending.remove(&req) {
+                    cb(Err(RequestError::Timeout));
+                }
+            });
+        }
+        let inner = self.inner.clone();
+        self.modem.send_event(size, Rc::new(frame), move |res| {
+            if let Err(e) = res {
+                if let Some(cb) = inner.borrow_mut().pending.remove(&req) {
+                    cb(Err(RequestError::Link(e)));
+                }
+            }
+        });
+    }
+
+    fn handle_downlink(&self, frame: Frame) {
+        match frame {
+            Frame::Response { req, event } => {
+                let cb = self.inner.borrow_mut().pending.remove(&req);
+                if let Some(cb) = cb {
+                    match event {
+                        Some(ev) => cb(Ok(ev)),
+                        None => cb(Err(RequestError::NoService)),
+                    }
+                }
+            }
+            Frame::Deliver { sub, event } => {
+                let handler = self.inner.borrow().subs.get(&sub).cloned();
+                if let Some(h) = handler {
+                    h(event);
+                }
+            }
+            // Uplink-only frames on the downlink are ignored.
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Debug for FuegoClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("FuegoClient")
+            .field("sender", &inner.sender)
+            .field("subs", &inner.subs.len())
+            .field("pending", &inner.pending.len())
+            .finish()
+    }
+}

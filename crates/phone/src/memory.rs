@@ -1,0 +1,150 @@
+//! Application RAM accounting.
+//!
+//! The DYNAMOS field trials saw phones switch off from "high memory
+//! consumption" when context-event traffic queued up; Contory's
+//! `reduceMemory` control policy exists to prevent that. [`MemoryBudget`]
+//! provides the accounting that the `ResourcesMonitor` reads.
+
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Error returned when an allocation would exceed the budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes still free.
+    pub available: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: requested {} bytes with {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl Error for OutOfMemory {}
+
+/// Shared RAM budget for one device.
+///
+/// ```
+/// use phone::MemoryBudget;
+/// let mem = MemoryBudget::new(1024);
+/// mem.alloc(512).unwrap();
+/// assert_eq!(mem.used(), 512);
+/// assert!(mem.alloc(1024).is_err());
+/// mem.free(512);
+/// assert_eq!(mem.used(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemoryBudget {
+    total: u64,
+    used: Rc<Cell<u64>>,
+}
+
+impl MemoryBudget {
+    /// Creates a budget of `total` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    pub fn new(total: u64) -> Self {
+        assert!(total > 0, "memory budget must be non-zero");
+        MemoryBudget {
+            total,
+            used: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Total budget in bytes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used.get()
+    }
+
+    /// Bytes still free.
+    pub fn available(&self) -> u64 {
+        self.total - self.used.get()
+    }
+
+    /// Fraction of the budget in use, `0.0..=1.0`.
+    pub fn utilization(&self) -> f64 {
+        self.used.get() as f64 / self.total as f64
+    }
+
+    /// Reserves `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if the budget would be exceeded; the budget
+    /// is left unchanged.
+    pub fn alloc(&self, bytes: u64) -> Result<(), OutOfMemory> {
+        if bytes > self.available() {
+            return Err(OutOfMemory {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.used.set(self.used.get() + bytes);
+        Ok(())
+    }
+
+    /// Releases `bytes` (saturating at zero, so over-freeing is forgiving
+    /// like a real allocator's accounting would not be — debug builds
+    /// assert instead).
+    pub fn free(&self, bytes: u64) {
+        debug_assert!(bytes <= self.used.get(), "freeing more than allocated");
+        self.used.set(self.used.get().saturating_sub(bytes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let m = MemoryBudget::new(100);
+        m.alloc(60).unwrap();
+        assert_eq!(m.available(), 40);
+        assert!((m.utilization() - 0.6).abs() < 1e-12);
+        m.free(60);
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn oom_reports_sizes() {
+        let m = MemoryBudget::new(100);
+        m.alloc(90).unwrap();
+        let err = m.alloc(20).unwrap_err();
+        assert_eq!(err.requested, 20);
+        assert_eq!(err.available, 10);
+        assert!(err.to_string().contains("out of memory"));
+        // failed alloc does not change accounting
+        assert_eq!(m.used(), 90);
+    }
+
+    #[test]
+    fn clones_share_accounting() {
+        let m = MemoryBudget::new(100);
+        let m2 = m.clone();
+        m.alloc(30).unwrap();
+        assert_eq!(m2.used(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_budget_panics() {
+        let _ = MemoryBudget::new(0);
+    }
+}

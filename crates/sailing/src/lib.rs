@@ -1,0 +1,26 @@
+//! # contory-sailing
+//!
+//! The DYNAMOS sailing application re-implemented on Contory (paper
+//! §6.2): support services for a community of recreational sailboaters,
+//! exercising every provisioning mechanism the middleware offers.
+//!
+//! - [`WeatherWatcher`]: weather for a geographic region — live boats in
+//!   the area via multi-hop ad hoc provisioning when the region is close
+//!   and dense enough, the remote infrastructure (fed by boats and
+//!   official stations) otherwise.
+//! - [`RegattaClassifier`] / [`RegattaParticipant`]: virtual checkpoints
+//!   along the course; each passage is reported (location + speed from
+//!   the GPS) to the infrastructure, which keeps an updated
+//!   classification.
+//! - [`scenario`]: regatta scenario builder used by the examples and the
+//!   benchmark figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod regatta;
+pub mod scenario;
+mod weather;
+
+pub use regatta::{Checkpoint, RegattaClassifier, RegattaCourse, RegattaParticipant, Standing};
+pub use weather::{WeatherReport, WeatherSource, WeatherWatcher};

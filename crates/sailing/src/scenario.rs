@@ -1,0 +1,102 @@
+//! Regatta scenario builder: boats with tracks along a course, GPS pucks
+//! aboard, participants started — the setup behind the examples and the
+//! application-level figures.
+
+use crate::regatta::{Checkpoint, RegattaClassifier, RegattaCourse, RegattaParticipant};
+use phone::PhoneModel;
+use radio::Position;
+use simkit::{SimDuration, SimTime};
+use std::rc::Rc;
+use testbed::{PhoneSetup, Testbed, TestbedPhone};
+
+/// Everything a running regatta consists of.
+pub struct Regatta {
+    /// The course.
+    pub course: RegattaCourse,
+    /// Boats (phones) in start order.
+    pub boats: Vec<Rc<TestbedPhone>>,
+    /// Participant services, one per boat.
+    pub participants: Vec<RegattaParticipant>,
+    /// The infrastructure-side classifier.
+    pub classifier: RegattaClassifier,
+}
+
+/// Builds a straight downwind course with `n` checkpoints spaced
+/// `spacing` metres apart.
+pub fn straight_course(n: usize, spacing: f64) -> RegattaCourse {
+    RegattaCourse::new(
+        (1..=n)
+            .map(|i| Checkpoint::new(Position::new(i as f64 * spacing, 0.0), spacing * 0.25))
+            .collect(),
+    )
+}
+
+/// Starts a regatta: `n_boats` boats sail the course at slightly
+/// different speeds (boat 0 fastest), each with a BT-GPS puck aboard and
+/// the participant service running. Cellular radios are on (passages go
+/// to the infrastructure).
+///
+/// # Panics
+///
+/// Panics if a participant cannot start (no mechanism for location —
+/// cannot happen with the pucks aboard).
+pub fn start_regatta(tb: &Testbed, n_boats: usize, course: RegattaCourse) -> Regatta {
+    let course_len = course.checkpoints().len() as f64
+        * course.checkpoints()[0].position.x.max(1.0)
+        / course.checkpoints().len() as f64;
+    let finish_x = course.checkpoints().last().expect("nonempty").position.x + 200.0;
+    let _ = course_len;
+    let mut boats = Vec::new();
+    let mut participants = Vec::new();
+    for b in 0..n_boats {
+        // Faster boats reach the finish sooner; everyone starts at x=0
+        // with a little lateral separation.
+        let speed = 3.0 - 0.35 * b as f64; // m/s (≈6 kn down to ~4 kn)
+        let y = b as f64 * 15.0;
+        let duration_s = (finish_x / speed).ceil() as u64;
+        let node_track = vec![
+            (SimTime::ZERO, Position::new(0.0, y)),
+            (SimTime::from_secs(duration_s), Position::new(finish_x, y)),
+        ];
+        let boat = tb.add_mobile_phone(
+            PhoneSetup {
+                name: format!("boat-{b}"),
+                model: PhoneModel::Nokia6630,
+                position: Position::new(0.0, y),
+                metered: false,
+                internal_sensors: Vec::new(),
+                wifi_on: false,
+                cell_on: true,
+                factory: contory::FactoryConfig::default(),
+            },
+            node_track,
+        );
+        // GPS puck aboard: its own radio node following the same track,
+        // a metre to the side (a node can host only one BT radio).
+        let puck_node = tb.world.add_mobile_node(vec![
+            (SimTime::ZERO, Position::new(0.0, y + 1.0)),
+            (
+                SimTime::from_secs(duration_s),
+                Position::new(finish_x, y + 1.0),
+            ),
+        ]);
+        let _puck = tb.add_bt_gps_on(puck_node, SimDuration::from_secs(5));
+        let participant = RegattaParticipant::start(
+            &tb.sim,
+            boat.factory(),
+            boat.name(),
+            course.clone(),
+            SimDuration::from_secs(5),
+        )
+        .expect("location provisioning available");
+        boats.push(boat);
+        participants.push(participant);
+    }
+    let classifier = RegattaClassifier::new(&tb.infra);
+    Regatta {
+        course,
+        boats,
+        participants,
+        classifier,
+    }
+}

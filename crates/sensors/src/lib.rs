@@ -1,0 +1,35 @@
+//! # contory-sensors
+//!
+//! Synthetic context sources for the Contory reproduction.
+//!
+//! The paper's field trials had real sailboats on the Baltic with BT-GPS
+//! pucks and weather observations; none of that exists in simulation, so
+//! this crate provides ground truth and sensors over it:
+//!
+//! - [`Environment`]: smooth, deterministic space-time fields
+//!   (temperature, wind, humidity, pressure, light, noise) that every
+//!   sensor samples, so readings from different boats are *consistent* —
+//!   which is what makes multi-source aggregation meaningful.
+//! - [`EnvSensor`]: a noisy sensor bound to a field and a (possibly
+//!   moving) position, with an accuracy model.
+//! - [`GpsReceiver`]: fix acquisition, position noise, and NMEA 0183
+//!   sentence generation with checksums — a burst per fix is ~340 bytes,
+//!   matching the GPS-NMEA size the paper reports for the BT link.
+//! - [`BtGpsDevice`]: the external Bluetooth GPS puck: an SDP-visible
+//!   service streaming NMEA bursts over an ACL link, with a power switch
+//!   used to script the paper's Fig. 5 failover experiment.
+//! - [`WeatherStation`]: a fixed "official" observation source for the
+//!   infrastructure side of WeatherWatcher.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btgps;
+mod env;
+pub mod gps;
+mod sensor;
+
+pub use btgps::BtGpsDevice;
+pub use env::{EnvField, Environment};
+pub use gps::{GpsFix, GpsReceiver};
+pub use sensor::{EnvSensor, Reading, WeatherStation};

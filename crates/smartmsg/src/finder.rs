@@ -1,0 +1,355 @@
+//! The SM-FINDER: the Smart Message Contory encapsulates context queries
+//! in (paper §5.2).
+//!
+//! The finder is routed towards nodes exposing the desired context tag
+//! (the tag whose name matches the query's SELECT clause). At each
+//! provider it evaluates the query's WHERE / FRESHNESS / EVENT
+//! requirements via a caller-supplied filter; matching tag values are
+//! saved in the SM, which returns to the issuer. A `hopCnt` tracks how
+//! far each result travelled so the issuer can discard providers outside
+//! the `numHops` range of interest.
+//!
+//! Routing is content-based with learning: the first query for a tag
+//! explores depth-first over participating neighbors (building a route
+//! costs ≈ 2× a routed retrieval, as the paper notes); the discovered
+//! path is installed in the issuer's route table and followed directly by
+//! subsequent finders.
+
+use crate::program::{SmAction, SmContext, SmProgram};
+use crate::tag::Tag;
+use radio::NodeId;
+use simkit::SimTime;
+use std::any::Any;
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// How many provider nodes the finder should gather results from
+/// (the `numNodes` of the query's `FROM adHocNetwork(numNodes, numHops)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumNodes {
+    /// All nodes discoverable within the hop limit.
+    All,
+    /// The first `k` nodes found.
+    First(u32),
+}
+
+impl NumNodes {
+    fn satisfied(self, have: usize) -> bool {
+        match self {
+            NumNodes::All => false,
+            NumNodes::First(k) => have >= k as usize,
+        }
+    }
+}
+
+/// Predicate evaluated at the provider's node against a candidate tag
+/// (this is where Contory's WHERE / FRESHNESS / EVENT clauses plug in).
+pub type TagFilter = Rc<dyn Fn(&Tag, SimTime) -> bool>;
+
+/// Specification of a finder run.
+#[derive(Clone)]
+pub struct FinderSpec {
+    /// Content tag to search for (the SELECT clause's type).
+    pub tag: String,
+    /// Key for authenticated tags, if any.
+    pub key: Option<String>,
+    /// Optional per-tag filter (WHERE/FRESHNESS/EVENT evaluation).
+    pub filter: Option<TagFilter>,
+    /// Result multiplicity.
+    pub num_nodes: NumNodes,
+    /// Maximum distance (in hops) of providers of interest.
+    pub num_hops: u32,
+    /// Serialized size of the carried query (Table 1: 205 bytes).
+    pub query_size: usize,
+    /// If set, only results from this specific entity count (queries whose
+    /// destination is an entity identifier, e.g. "when is my friend near").
+    pub target_entity: Option<NodeId>,
+}
+
+impl FinderSpec {
+    /// A spec with paper-default sizes: find `tag` on the first node
+    /// within `num_hops`.
+    pub fn first_match(tag: impl Into<String>, num_hops: u32) -> Self {
+        FinderSpec {
+            tag: tag.into(),
+            key: None,
+            filter: None,
+            num_nodes: NumNodes::First(1),
+            num_hops,
+            query_size: 205,
+            target_entity: None,
+        }
+    }
+}
+
+impl fmt::Debug for FinderSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FinderSpec")
+            .field("tag", &self.tag)
+            .field("num_nodes", &self.num_nodes)
+            .field("num_hops", &self.num_hops)
+            .field("target_entity", &self.target_entity)
+            .finish()
+    }
+}
+
+/// One matching tag carried home by the finder.
+#[derive(Clone, Debug)]
+pub struct FinderResult {
+    /// Node that provided the tag.
+    pub provider: NodeId,
+    /// Snapshot of the tag at evaluation time.
+    pub tag: Tag,
+    /// Provider's distance from the issuer when found.
+    pub found_depth: u32,
+    /// Total migrations the SM had performed when the value was saved
+    /// (the paper's `hopCnt`).
+    pub hop_cnt: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Following a cached route (index into the route path).
+    Routed(usize),
+    /// Depth-first exploration.
+    Explore,
+    /// Heading home along the DFS path.
+    Homebound,
+}
+
+/// The finder program. Inject via [`crate::SmNode::inject`]; the outcome
+/// payload is an `Rc<Vec<FinderResult>>`.
+pub struct Finder {
+    spec: FinderSpec,
+    mode: Mode,
+    visited: HashSet<NodeId>,
+    /// Path from origin to the current node (parents, excluding current).
+    depth_path: Vec<NodeId>,
+    /// Route being followed (origin-side copy), if any.
+    route: Option<Vec<NodeId>>,
+    /// Path (origin→provider) of the first successful provider, recorded
+    /// for route installation.
+    found_path: Option<Vec<NodeId>>,
+    results: Vec<FinderResult>,
+    started: bool,
+}
+
+impl Finder {
+    /// Creates a finder for a spec.
+    pub fn new(spec: FinderSpec) -> Self {
+        Finder {
+            spec,
+            mode: Mode::Explore,
+            visited: HashSet::new(),
+            depth_path: Vec::new(),
+            route: None,
+            found_path: None,
+            results: Vec::new(),
+            started: false,
+        }
+    }
+
+    fn depth(&self) -> u32 {
+        self.depth_path.len() as u32
+    }
+
+    /// Evaluates the local tag space; records a result if it matches.
+    fn harvest(&mut self, ctx: &SmContext<'_>) {
+        if ctx.node == ctx.origin {
+            return;
+        }
+        if let Some(entity) = self.spec.target_entity {
+            if ctx.node != entity {
+                return;
+            }
+        }
+        let Some(tag) = ctx.tags.read(&self.spec.tag, ctx.now, self.spec.key.as_deref()) else {
+            return;
+        };
+        let passes = match &self.spec.filter {
+            Some(f) => f(tag, ctx.now),
+            None => true,
+        };
+        if passes && !self.results.iter().any(|r| r.provider == ctx.node) {
+            self.results.push(FinderResult {
+                provider: ctx.node,
+                tag: tag.clone(),
+                found_depth: self.depth(),
+                hop_cnt: ctx.hop_cnt,
+            });
+            if self.found_path.is_none() {
+                let mut p = self.depth_path.clone();
+                p.push(ctx.node);
+                self.found_path = Some(p);
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.spec.num_nodes.satisfied(self.results.len())
+    }
+
+    fn go_home(&mut self, ctx: &SmContext<'_>) -> SmAction {
+        self.mode = Mode::Homebound;
+        if ctx.node == ctx.origin {
+            return SmAction::Complete;
+        }
+        match self.depth_path.pop() {
+            Some(parent) => SmAction::Migrate(parent),
+            None => SmAction::Complete, // lost; runtime reports off-origin
+        }
+    }
+
+    fn explore_step(&mut self, ctx: &mut SmContext<'_>) -> SmAction {
+        if self.done() {
+            return self.go_home(ctx);
+        }
+        // Try an unvisited participating neighbor within the hop budget.
+        if self.depth() < self.spec.num_hops {
+            let candidate = ctx
+                .neighbors
+                .iter()
+                .copied()
+                .find(|n| !self.visited.contains(n));
+            if let Some(next) = candidate {
+                self.visited.insert(next);
+                self.depth_path.push(ctx.node);
+                // depth_path now includes current; on arrival the current
+                // node is the parent — consistent with runtime's chain.
+                return SmAction::Migrate(next);
+            }
+        }
+        // Exhausted here: backtrack.
+        if ctx.node == ctx.origin {
+            return SmAction::Complete;
+        }
+        match self.depth_path.pop() {
+            Some(parent) => SmAction::Migrate(parent),
+            None => SmAction::Complete,
+        }
+    }
+}
+
+impl SmProgram for Finder {
+    fn code_name(&self) -> &'static str {
+        "sm-finder-v1"
+    }
+
+    fn code_size(&self) -> usize {
+        2_048
+    }
+
+    fn data_size(&self) -> usize {
+        self.spec.query_size + self.results.iter().map(|r| r.tag.value.wire_size + 32).sum::<usize>()
+    }
+
+    fn run(&mut self, ctx: &mut SmContext<'_>) -> SmAction {
+        if !self.started {
+            self.started = true;
+            self.visited.insert(ctx.origin);
+            // Fast path: a cached route for this tag.
+            if let Some(path) = ctx.routes.get(&self.spec.tag) {
+                if !path.is_empty() && path.len() as u32 <= self.spec.num_hops {
+                    self.route = Some(path.clone());
+                    self.mode = Mode::Routed(0);
+                }
+            }
+        }
+
+        // A migration failed: fall back to exploration from here.
+        if let Some(failed) = ctx.migration_failed.take() {
+            self.visited.insert(failed);
+            // Undo the depth-path entry pushed for the failed migration
+            // (we never actually left this node).
+            if self.depth_path.last() == Some(&ctx.node) {
+                self.depth_path.pop();
+            }
+            if matches!(self.mode, Mode::Routed(_)) {
+                // The cached route is stale; drop it at the origin when we
+                // get back (cleared below on completion) and explore.
+                self.mode = Mode::Explore;
+            } else if self.mode == Mode::Homebound {
+                // Cannot get home: complete where we are (the runtime will
+                // report the loss).
+                return SmAction::Complete;
+            }
+        }
+
+        match self.mode {
+            Mode::Routed(idx) => {
+                self.harvest(ctx);
+                if self.done() {
+                    return self.go_home(ctx);
+                }
+                let route = self.route.clone().unwrap_or_default();
+                if idx < route.len() {
+                    let next = route[idx];
+                    self.mode = Mode::Routed(idx + 1);
+                    self.visited.insert(next);
+                    self.depth_path.push(ctx.node);
+                    SmAction::Migrate(next)
+                } else {
+                    // Route exhausted without satisfying the query:
+                    // explore onwards from here.
+                    self.mode = Mode::Explore;
+                    self.explore_step(ctx)
+                }
+            }
+            Mode::Explore => {
+                self.harvest(ctx);
+                let action = self.explore_step(ctx);
+                if action == SmAction::Complete && ctx.node == ctx.origin {
+                    self.install_route(ctx);
+                }
+                action
+            }
+            Mode::Homebound => {
+                if ctx.node == ctx.origin {
+                    self.install_route(ctx);
+                    return SmAction::Complete;
+                }
+                match self.depth_path.pop() {
+                    Some(parent) => SmAction::Migrate(parent),
+                    None => SmAction::Complete,
+                }
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Rc<dyn Any> {
+        Rc::new(self.results)
+    }
+}
+
+impl Finder {
+    /// Installs (or refreshes) the origin's route entry for this tag from
+    /// the first successful provider path. Clears stale routes when the
+    /// search failed.
+    fn install_route(&mut self, ctx: &mut SmContext<'_>) {
+        match &self.found_path {
+            Some(path) if !path.is_empty() => {
+                // Path recorded as origin,…,provider; the route table
+                // stores the hops *after* the origin.
+                let hops: Vec<NodeId> =
+                    path.iter().copied().filter(|&n| n != ctx.origin).collect();
+                if !hops.is_empty() {
+                    ctx.routes.insert(self.spec.tag.clone(), hops);
+                }
+            }
+            _ => {
+                ctx.routes.remove(&self.spec.tag);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Finder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Finder")
+            .field("spec", &self.spec)
+            .field("mode", &self.mode)
+            .field("results", &self.results.len())
+            .finish()
+    }
+}

@@ -1,0 +1,42 @@
+//! # contory-smartmsg
+//!
+//! A reproduction of the **Smart Messages (SM)** distributed computing
+//! platform (Borcea et al., ICDCS 2002; portable J2ME version by Ravi et
+//! al., MobiQuitous 2004) that Contory's `WiFiReference` uses for
+//! multi-hop context provisioning in ad hoc networks.
+//!
+//! An SM is a mobile-agent-like computation whose execution migrates node
+//! to node. The platform pieces, mirroring the paper's §5.1:
+//!
+//! - **Tag space** ([`TagSpace`]): named shared memory per node, used both
+//!   for publishing context items (`temperatureTag: <name=temperature>
+//!   <value=14°C,1°C,trusted>`) and for naming nodes (the `"contory"`
+//!   participation tag).
+//! - **SM runtime** ([`SmPlatform`] / [`SmNode`]): admission manager,
+//!   code cache, and scheduler dispatching ready SMs.
+//! - **Migration** ([`SmParams`]): each hop pays connection
+//!   establishment, serialization, transfer and thread-switch costs with
+//!   the break-up the paper measured (connection 4–5 %, serialization
+//!   26–33 %, thread switching 12–14 %, transfer 51–54 % of a retrieval).
+//! - **SM-FINDER** ([`finder::Finder`]): the program Contory encapsulates
+//!   context queries in — routed towards nodes exposing the desired
+//!   context tag, evaluates WHERE/FRESHNESS/EVENT requirements there, and
+//!   carries matching values back to the issuer, maintaining a `hopCnt`
+//!   so out-of-range results can be discarded.
+//!
+//! Routing is content-based: the first query for a tag explores (DFS over
+//! `"contory"`-participating neighbors, which is why building a route
+//! costs roughly twice a routed retrieval); later queries follow the
+//! cached route.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod finder;
+mod program;
+mod runtime;
+mod tag;
+
+pub use program::{SmAction, SmContext, SmError, SmOutcome, SmProgram};
+pub use runtime::{SmNode, SmParams, SmPlatform};
+pub use tag::{Tag, TagAccess, TagSpace, TagValue};

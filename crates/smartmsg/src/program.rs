@@ -1,0 +1,144 @@
+//! The Smart Message program model.
+//!
+//! Real SMs carry Java *code bricks*; a simulation cannot ship code, so an
+//! SM program here is a boxed state machine implementing [`SmProgram`].
+//! The runtime calls [`SmProgram::run`] each time the SM's execution
+//! resumes at a node; the returned [`SmAction`] tells the runtime whether
+//! to migrate, head home, or complete. Code identity and size still
+//! matter — they drive the code cache and the migration cost model.
+
+use crate::tag::TagSpace;
+use radio::NodeId;
+use simkit::SimTime;
+use std::any::Any;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// What the SM does after a `run` step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SmAction {
+    /// Migrate execution to an adjacent participating node.
+    Migrate(NodeId),
+    /// Let the runtime carry the SM back to its origin along the visited
+    /// path, then complete (no further `run` calls on the way).
+    Return,
+    /// Finish here. Delivers the outcome if the SM is at its origin;
+    /// elsewhere the SM is lost (reported as a failure).
+    Complete,
+}
+
+/// Why an SM failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmError {
+    /// A migration failed and the program gave up.
+    Unreachable(NodeId),
+    /// The admission manager at a node rejected the SM.
+    Rejected(NodeId),
+    /// The SM completed away from its origin, so the outcome could not be
+    /// delivered.
+    LostOffOrigin(NodeId),
+}
+
+impl fmt::Display for SmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmError::Unreachable(n) => write!(f, "migration target {n} unreachable"),
+            SmError::Rejected(n) => write!(f, "admission rejected at {n}"),
+            SmError::LostOffOrigin(n) => write!(f, "sm completed away from origin at {n}"),
+        }
+    }
+}
+
+impl Error for SmError {}
+
+/// Terminal state of an injected SM.
+#[derive(Clone, Debug)]
+pub enum SmOutcome {
+    /// The SM returned to its origin and produced this payload.
+    Completed(Rc<dyn Any>),
+    /// The injector's timeout fired first (paper: "if no valid result is
+    /// received within a certain timeout, the query is cancelled").
+    TimedOut,
+    /// The SM failed en route.
+    Failed(SmError),
+}
+
+impl SmOutcome {
+    /// Downcasts a completed payload; `None` for timeouts/failures or a
+    /// type mismatch.
+    pub fn completed_as<T: 'static>(&self) -> Option<Rc<T>> {
+        match self {
+            SmOutcome::Completed(p) => p.clone().downcast::<T>().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Everything an SM program can see and touch while executing at a node.
+///
+/// The tag space is the *only* shared memory (as in the real platform);
+/// `routes` is the node-local content-routing table that finder-style
+/// programs consult and install into.
+pub struct SmContext<'a> {
+    /// Node currently hosting the execution.
+    pub node: NodeId,
+    /// Node that injected the SM.
+    pub origin: NodeId,
+    /// Migrations performed so far (the paper's `hopCnt`).
+    pub hop_cnt: u32,
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The hosting node's tag space.
+    pub tags: &'a mut TagSpace,
+    /// Adjacent nodes currently participating in the SM network (exposing
+    /// the `"contory"` tag over joined WiFi).
+    pub neighbors: Vec<NodeId>,
+    /// The hosting node's content-route table: tag name → path of next
+    /// hops from this node.
+    pub routes: &'a mut HashMap<String, Vec<NodeId>>,
+    /// If the previous action was a `Migrate` that failed, the target that
+    /// could not be reached; the program should pick an alternative.
+    pub migration_failed: Option<NodeId>,
+}
+
+/// A Smart Message program: a named, sized state machine.
+pub trait SmProgram {
+    /// Code-brick identity, used by the per-node code cache.
+    fn code_name(&self) -> &'static str;
+
+    /// Serialized size of the code bricks in bytes (paid on migration to
+    /// nodes that do not have the brick cached).
+    fn code_size(&self) -> usize;
+
+    /// Current serialized size of the data bricks in bytes (grows as the
+    /// program accumulates results).
+    fn data_size(&self) -> usize;
+
+    /// One execution step at the current node.
+    fn run(&mut self, ctx: &mut SmContext<'_>) -> SmAction;
+
+    /// Consumes the program into its outcome payload once the SM
+    /// completes at its origin.
+    fn finish(self: Box<Self>) -> Rc<dyn Any>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_downcast() {
+        let o = SmOutcome::Completed(Rc::new(41u32));
+        assert_eq!(*o.completed_as::<u32>().unwrap(), 41);
+        assert!(o.completed_as::<String>().is_none());
+        assert!(SmOutcome::TimedOut.completed_as::<u32>().is_none());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(SmError::Unreachable(NodeId(3)).to_string().contains("node3"));
+        assert!(SmError::Rejected(NodeId(1)).to_string().contains("admission"));
+    }
+}

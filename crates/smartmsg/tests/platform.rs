@@ -1,0 +1,341 @@
+//! Integration tests for the Smart Messages platform over the simulated
+//! WiFi ad hoc medium, checking the paper's §5.2/§6.1 behaviours.
+
+use phone::{Phone, PhoneConfig, PhoneModel};
+use radio::wifi::{WifiMedium, WifiParams};
+use radio::{NodeId, Position, World};
+use simkit::{Sim, SimDuration, SimTime};
+use smartmsg::finder::{Finder, FinderResult, FinderSpec, NumNodes};
+use smartmsg::{SmNode, SmOutcome, SmParams, SmPlatform, Tag, TagValue};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+struct Rig {
+    sim: Sim,
+    world: World,
+    wifi: WifiMedium,
+    platform: SmPlatform,
+}
+
+impl Rig {
+    fn new() -> Self {
+        let sim = Sim::new();
+        let world = World::new(&sim);
+        let wifi = WifiMedium::new(&sim, &world, WifiParams::default());
+        let platform = SmPlatform::new(&sim, SmParams::default());
+        Rig {
+            sim,
+            world,
+            wifi,
+            platform,
+        }
+    }
+
+    /// Adds a communicator at (x, y) with WiFi up and the SM runtime
+    /// installed.
+    fn node(&self, x: f64, y: f64) -> SmNode {
+        let id = self.world.add_node(Position::new(x, y));
+        let phone = Phone::new(
+            &self.sim,
+            PhoneConfig {
+                model: PhoneModel::Nokia9500,
+                ..PhoneConfig::default()
+            },
+        );
+        let radio = self.wifi.attach(id, &phone, id.0 as u64 + 50);
+        radio.power_on(|| {});
+        self.platform.install(&radio, &phone, id.0 as u64 + 500)
+    }
+
+    /// A line of `n` nodes spaced 80 m apart (range is 100 m, so only
+    /// adjacent nodes hear each other).
+    fn line(&self, n: usize) -> Vec<SmNode> {
+        let nodes: Vec<SmNode> = (0..n).map(|i| self.node(i as f64 * 80.0, 0.0)).collect();
+        self.sim.run_for(SimDuration::from_secs(5)); // WiFi joins
+        nodes
+    }
+}
+
+fn run_finder(rig: &Rig, issuer: &SmNode, spec: FinderSpec) -> (Vec<FinderResult>, SimDuration) {
+    let out: Rc<RefCell<Option<SmOutcome>>> = Rc::new(RefCell::new(None));
+    let o = out.clone();
+    let t0 = rig.sim.now();
+    issuer.inject(
+        Box::new(Finder::new(spec)),
+        SimDuration::from_secs(120),
+        move |outcome| *o.borrow_mut() = Some(outcome),
+    );
+    while out.borrow().is_none() {
+        assert!(rig.sim.step(), "simulation drained without an outcome");
+    }
+    let elapsed = rig.sim.now() - t0;
+    let outcome = out.borrow_mut().take().unwrap();
+    let results = outcome
+        .completed_as::<Vec<FinderResult>>()
+        .unwrap_or_else(|| panic!("finder did not complete: {outcome:?}"));
+    (results.as_ref().clone(), elapsed)
+}
+
+fn temp_tag(now: SimTime) -> Tag {
+    Tag::new(
+        "temperature",
+        TagValue::with_data("14.0C,0.2C,trusted", Rc::new(14.0f64), 136),
+        now,
+    )
+}
+
+#[test]
+fn publish_tag_latency_matches_table1() {
+    // Table 1: WiFi-based publishCxtItem = 0.130 ms (a hashtable put).
+    let rig = Rig::new();
+    let nodes = rig.line(1);
+    let t0 = rig.sim.now();
+    let done_at: Rc<Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
+    let d = done_at.clone();
+    let sim = rig.sim.clone();
+    nodes[0].publish_tag(temp_tag(t0), move || d.set(Some(sim.now())));
+    rig.sim.run_for(SimDuration::from_millis(10));
+    let ms = (done_at.get().expect("publish completed") - t0).as_millis_f64();
+    assert!((0.10..0.16).contains(&ms), "publish took {ms} ms");
+    assert!(nodes[0].read_tag("temperature", None).is_some());
+}
+
+#[test]
+fn one_hop_retrieval_latency_matches_table1() {
+    // Table 1: WiFi-based one-hop getCxtItem ≈ 761 ms (routed).
+    let rig = Rig::new();
+    let nodes = rig.line(2);
+    nodes[1].publish_tag_now(temp_tag(rig.sim.now()));
+    // Warm-up: builds the route and populates code caches.
+    let (r, _) = run_finder(&rig, &nodes[0], FinderSpec::first_match("temperature", 3));
+    assert_eq!(r.len(), 1);
+    let (results, elapsed) = run_finder(&rig, &nodes[0], FinderSpec::first_match("temperature", 3));
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].provider, nodes[1].node());
+    assert_eq!(results[0].found_depth, 1);
+    let ms = elapsed.as_millis_f64();
+    assert!((700.0..830.0).contains(&ms), "one-hop retrieval {ms} ms");
+}
+
+#[test]
+fn two_hop_retrieval_latency_matches_table1() {
+    // Table 1: WiFi-based two-hop getCxtItem ≈ 1422 ms (three
+    // communicators arranged in a line, as in the paper).
+    let rig = Rig::new();
+    let nodes = rig.line(3);
+    nodes[2].publish_tag_now(temp_tag(rig.sim.now()));
+    let _ = run_finder(&rig, &nodes[0], FinderSpec::first_match("temperature", 3));
+    let (results, elapsed) = run_finder(&rig, &nodes[0], FinderSpec::first_match("temperature", 3));
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].provider, nodes[2].node());
+    assert_eq!(results[0].found_depth, 2);
+    let ms = elapsed.as_millis_f64();
+    assert!((1300.0..1550.0).contains(&ms), "two-hop retrieval {ms} ms");
+}
+
+#[test]
+fn route_build_costs_about_twice_the_routed_retrieval() {
+    // Branchy topology: the issuer has a decoy branch explored first.
+    //   decoy2 - decoy1 - issuer - relay - provider
+    // Cold query explores the decoys; warm query follows the route.
+    let rig = Rig::new();
+    let issuer = rig.node(0.0, 0.0);
+    let decoy1 = rig.node(-80.0, 0.0);
+    let _decoy2 = rig.node(-160.0, 0.0);
+    let _relay = rig.node(80.0, 0.0);
+    let provider = rig.node(160.0, 0.0);
+    rig.sim.run_for(SimDuration::from_secs(5));
+    let _ = decoy1;
+    provider.publish_tag_now(temp_tag(rig.sim.now()));
+    let (r_cold, cold) = run_finder(&rig, &issuer, FinderSpec::first_match("temperature", 3));
+    assert_eq!(r_cold.len(), 1);
+    let (r_warm, warm) = run_finder(&rig, &issuer, FinderSpec::first_match("temperature", 3));
+    assert_eq!(r_warm.len(), 1);
+    let ratio = cold.as_secs_f64() / warm.as_secs_f64();
+    assert!(
+        (1.5..2.6).contains(&ratio),
+        "route build should cost ~2x: cold {cold}, warm {warm}, ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn num_nodes_all_gathers_every_provider() {
+    let rig = Rig::new();
+    let nodes = rig.line(4);
+    for n in &nodes[1..] {
+        n.publish_tag_now(temp_tag(rig.sim.now()));
+    }
+    let spec = FinderSpec {
+        num_nodes: NumNodes::All,
+        ..FinderSpec::first_match("temperature", 5)
+    };
+    let (results, _) = run_finder(&rig, &nodes[0], spec);
+    assert_eq!(results.len(), 3);
+    let mut providers: Vec<NodeId> = results.iter().map(|r| r.provider).collect();
+    providers.sort();
+    let mut expect: Vec<NodeId> = nodes[1..].iter().map(|n| n.node()).collect();
+    expect.sort();
+    assert_eq!(providers, expect);
+}
+
+#[test]
+fn num_hops_bounds_the_search() {
+    let rig = Rig::new();
+    let nodes = rig.line(4);
+    // Only the farthest node has the tag, 3 hops away.
+    nodes[3].publish_tag_now(temp_tag(rig.sim.now()));
+    let spec = FinderSpec {
+        num_nodes: NumNodes::All,
+        ..FinderSpec::first_match("temperature", 2)
+    };
+    let (results, _) = run_finder(&rig, &nodes[0], spec);
+    assert!(results.is_empty(), "3-hop provider must not be found at numHops=2");
+}
+
+#[test]
+fn filter_rejects_stale_tags() {
+    let rig = Rig::new();
+    let nodes = rig.line(2);
+    nodes[1].publish_tag_now(temp_tag(rig.sim.now()));
+    rig.sim.run_for(SimDuration::from_secs(60));
+    // FRESHNESS 30 sec: the tag is now 60 s old.
+    let spec = FinderSpec {
+        filter: Some(Rc::new(|tag: &Tag, now: SimTime| {
+            tag.age(now) <= SimDuration::from_secs(30)
+        })),
+        num_nodes: NumNodes::All,
+        ..FinderSpec::first_match("temperature", 3)
+    };
+    let (results, _) = run_finder(&rig, &nodes[0], spec);
+    assert!(results.is_empty());
+    // Republishing makes it fresh again.
+    nodes[1].publish_tag_now(temp_tag(rig.sim.now()));
+    let spec = FinderSpec {
+        filter: Some(Rc::new(|tag: &Tag, now: SimTime| {
+            tag.age(now) <= SimDuration::from_secs(30)
+        })),
+        ..FinderSpec::first_match("temperature", 3)
+    };
+    let (results, _) = run_finder(&rig, &nodes[0], spec);
+    assert_eq!(results.len(), 1);
+}
+
+#[test]
+fn authenticated_tags_need_the_key() {
+    let rig = Rig::new();
+    let nodes = rig.line(2);
+    nodes[1].publish_tag_now(temp_tag(rig.sim.now()).with_key("regatta-2005"));
+    let (results, _) = run_finder(&rig, &nodes[0], FinderSpec::first_match("temperature", 3));
+    assert!(results.is_empty(), "no key, no data");
+    let spec = FinderSpec {
+        key: Some("regatta-2005".into()),
+        ..FinderSpec::first_match("temperature", 3)
+    };
+    let (results, _) = run_finder(&rig, &nodes[0], spec);
+    assert_eq!(results.len(), 1);
+}
+
+#[test]
+fn target_entity_only_matches_that_node() {
+    let rig = Rig::new();
+    let nodes = rig.line(3);
+    nodes[1].publish_tag_now(temp_tag(rig.sim.now()));
+    nodes[2].publish_tag_now(temp_tag(rig.sim.now()));
+    let spec = FinderSpec {
+        target_entity: Some(nodes[2].node()),
+        num_nodes: NumNodes::All,
+        ..FinderSpec::first_match("temperature", 4)
+    };
+    let (results, _) = run_finder(&rig, &nodes[0], spec);
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].provider, nodes[2].node());
+}
+
+#[test]
+fn finder_times_out_when_unreachable() {
+    let rig = Rig::new();
+    let nodes = rig.line(8);
+    // Long fruitless exploration with a short timeout.
+    let out: Rc<RefCell<Option<SmOutcome>>> = Rc::new(RefCell::new(None));
+    let o = out.clone();
+    nodes[0].inject(
+        Box::new(Finder::new(FinderSpec {
+            num_nodes: NumNodes::All,
+            ..FinderSpec::first_match("nosuchtag", 7)
+        })),
+        SimDuration::from_millis(900),
+        move |outcome| *o.borrow_mut() = Some(outcome),
+    );
+    rig.sim.run_until_idle();
+    assert!(matches!(out.borrow_mut().take(), Some(SmOutcome::TimedOut)));
+}
+
+#[test]
+fn code_gets_cached_along_the_way() {
+    let rig = Rig::new();
+    let nodes = rig.line(3);
+    nodes[2].publish_tag_now(temp_tag(rig.sim.now()));
+    assert!(!rig.platform.code_cached(nodes[1].node(), "sm-finder-v1"));
+    let _ = run_finder(&rig, &nodes[0], FinderSpec::first_match("temperature", 3));
+    assert!(rig.platform.code_cached(nodes[1].node(), "sm-finder-v1"));
+    assert!(rig.platform.code_cached(nodes[2].node(), "sm-finder-v1"));
+}
+
+#[test]
+fn dead_intermediate_node_is_routed_around_or_reported() {
+    // issuer - relay - provider, plus a side path issuer - alt - provider.
+    //   relay at (80, 0); alt at (40, 69) so issuer-alt ~79m, alt-provider ~92m.
+    let rig = Rig::new();
+    let issuer = rig.node(0.0, 0.0);
+    let relay = rig.node(80.0, 0.0);
+    let alt = rig.node(78.0, 55.0);
+    let provider = rig.node(160.0, 0.0);
+    let _ = alt;
+    rig.sim.run_for(SimDuration::from_secs(5));
+    assert!(rig
+        .world
+        .in_range(alt.node(), provider.node(), 100.0));
+    provider.publish_tag_now(temp_tag(rig.sim.now()));
+    // Build route through whichever branch, then kill the relay.
+    let (r, _) = run_finder(&rig, &issuer, FinderSpec::first_match("temperature", 3));
+    assert_eq!(r.len(), 1);
+    // Kill the relay's wifi by moving it far away.
+    rig.world.set_position(relay.node(), Position::new(9_000.0, 0.0));
+    let (results, _) = run_finder(
+        &rig,
+        &issuer,
+        FinderSpec {
+            num_nodes: NumNodes::All,
+            ..FinderSpec::first_match("temperature", 3)
+        },
+    );
+    assert_eq!(results.len(), 1, "should find the provider via the alt path");
+}
+
+#[test]
+fn sm_latency_breakup_matches_paper_shares() {
+    // §6.1: connection 4–5 %, serialization 26–33 %, thread switching
+    // 12–14 %, transfer 51–54 % of the total latency. Computed from the
+    // same parameters the platform uses.
+    let p = SmParams::default();
+    let wifi = WifiParams::default();
+    let wire = 256 + 205; // control state + query, code cached
+    let per_mig_connect = p.connect.as_secs_f64();
+    let per_mig_serialize =
+        p.serialize_base.as_secs_f64() + p.serialize_per_byte.as_secs_f64() * wire as f64;
+    let per_mig_transfer = p.transfer_base.as_secs_f64() + wifi.transfer_time(wire).as_secs_f64();
+    let per_mig_thread = p.thread_switch.as_secs_f64();
+    let issuer = p.issuer_serialize.as_secs_f64() + p.issuer_thread.as_secs_f64();
+    let total = issuer
+        + 2.0 * (per_mig_connect + per_mig_serialize + per_mig_transfer + per_mig_thread);
+    let conn_share = 2.0 * per_mig_connect / total;
+    let ser_share = (p.issuer_serialize.as_secs_f64() + 2.0 * per_mig_serialize) / total;
+    let thread_share = (p.issuer_thread.as_secs_f64() + 2.0 * per_mig_thread) / total;
+    let transfer_share = 2.0 * per_mig_transfer / total;
+    assert!((0.035..=0.055).contains(&conn_share), "connection {conn_share:.3}");
+    assert!((0.26..=0.34).contains(&ser_share), "serialization {ser_share:.3}");
+    assert!((0.11..=0.145).contains(&thread_share), "thread {thread_share:.3}");
+    assert!((0.50..=0.56).contains(&transfer_share), "transfer {transfer_share:.3}");
+    // and the total is the paper's ~761 ms one-hop retrieval
+    assert!((0.72..=0.80).contains(&total), "total {total:.3} s");
+}

@@ -1,0 +1,102 @@
+//! A tour of the context query language (§4.2) and query aggregation
+//! (§4.3) — no simulation required.
+//!
+//! Run with: `cargo run --example query_tour`
+
+use contory::policy::{Condition, ContextRule, RuleAction, RuleValue, SystemStatus};
+use contory::query::{CxtQuery, NumNodes, QueryBuilder};
+use contory::{CxtItem, CxtValue, EventWindow};
+use simkit::{SimDuration, SimTime};
+
+fn main() {
+    // --- the paper's example query ---
+    let text = "SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 \
+                FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25";
+    println!("parsing the paper's example query:\n  {text}\n");
+    let q = CxtQuery::parse(text).expect("valid query");
+    println!("  SELECT    -> {}", q.select);
+    println!("  FROM      -> {:?}", q.from);
+    println!("  WHERE     -> {:?}", q.where_clause);
+    println!("  FRESHNESS -> {:?}", q.freshness);
+    println!("  DURATION  -> {}", q.duration);
+    println!("  mode      -> {:?}\n", q.mode);
+
+    // --- the same query, built fluently ---
+    let built = QueryBuilder::select("temperature")
+        .from_adhoc(NumNodes::First(10), 3)
+        .where_numeric("accuracy", contory::query::CmpOp::Eq, 0.2)
+        .freshness(SimDuration::from_secs(30))
+        .duration(SimDuration::from_hours(1))
+        .event_avg_above("temperature", 25.0)
+        .build();
+    assert_eq!(built, q);
+    println!("the QueryBuilder produces the identical query: {built}\n");
+
+    // --- query merging: the paper's q1 + q2 -> q3 example ---
+    let q1 = CxtQuery::parse(
+        "SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 10 sec DURATION 1 hour EVERY 15 sec",
+    )
+    .unwrap();
+    let q2 = CxtQuery::parse(
+        "SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 20 sec DURATION 2 hour EVERY 30 sec",
+    )
+    .unwrap();
+    println!("query merging (§4.3):");
+    println!("  q1: {q1}");
+    println!("  q2: {q2}");
+    // The Facade performs this internally; the building blocks are public
+    // through behaviour — shown here via the facade's observable effect in
+    // the middleware tests. The expected covering query is:
+    println!(
+        "  q3: SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 20 sec \
+         DURATION 2 hour EVERY 15 sec  (computed by the Facade)\n"
+    );
+
+    // --- EVENT evaluation over a window of collected items ---
+    println!("EVENT evaluation:");
+    let mut window = EventWindow::new();
+    for (t, v) in [(0u64, 22.0), (15, 24.5), (30, 27.0), (45, 29.0)] {
+        window.push(CxtItem::new(
+            "temperature",
+            CxtValue::quantity(v, "C"),
+            SimTime::from_secs(t),
+        ));
+        if let contory::query::QueryMode::Event(expr) = &q.mode {
+            println!(
+                "  t={t:>2}s  temperature={v:>4.1}C  AVG so far -> condition {}",
+                if window.eval(expr) { "FIRES" } else { "quiet" }
+            );
+        }
+    }
+
+    // --- control policies ---
+    println!("\ncontrol policies (§4.3):");
+    let rule = ContextRule::new(
+        Condition::parse("<batteryLevel, equal, low> and <activeQueries, moreThan, 2>").unwrap(),
+        RuleAction::ReducePower,
+    );
+    println!("  rule: {rule}");
+    let mut status = SystemStatus::new();
+    status.set("batteryLevel", RuleValue::Text("low".into()));
+    status.set("activeQueries", RuleValue::Number(5.0));
+    println!(
+        "  with batteryLevel=low, activeQueries=5 -> active actions: {:?}",
+        status.active_actions(&[rule.clone()])
+    );
+    status.set("batteryLevel", RuleValue::Text("high".into()));
+    println!(
+        "  with batteryLevel=high                 -> active actions: {:?}",
+        status.active_actions(&[rule])
+    );
+
+    // --- error reporting ---
+    println!("\nparse errors point at the offending byte:");
+    for bad in [
+        "SELECT temperature EVERY 5 sec",
+        "SELECT t FROM bogusSource DURATION 1 min",
+        "SELECT t DURATION 1 hour EVERY 5 sec EVENT AVG(t)>1",
+    ] {
+        println!("  {bad}");
+        println!("    -> {}", CxtQuery::parse(bad).unwrap_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: submit your first context query.
+//!
+//! Builds a one-phone testbed (a Nokia 6630 with an integrated
+//! temperature sensor), starts Contory, and runs the simplest useful
+//! query: periodic temperature for one minute.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use contory::{Client, CxtItem, QueryId};
+use radio::Position;
+use sensors::EnvField;
+use simkit::SimDuration;
+use testbed::{PhoneSetup, Testbed};
+use std::rc::Rc;
+
+/// Applications implement the paper's `Client` interface: item delivery,
+/// error signalling, and the access-control decision hook.
+struct PrintingClient;
+
+impl Client for PrintingClient {
+    fn receive_cxt_item(&self, query: QueryId, item: CxtItem) {
+        println!("  [{query}] {item}");
+    }
+    fn inform_error(&self, message: &str) {
+        println!("  [error] {message}");
+    }
+    fn make_decision(&self, message: &str) -> bool {
+        println!("  [decision] {message} -> allow");
+        true
+    }
+}
+
+fn main() {
+    // A testbed bundles the simulated world: radios, Smart Messages, the
+    // event broker and the remote context infrastructure.
+    let tb = Testbed::with_seed(42);
+
+    // One phone with an integrated temperature sensor.
+    let phone = tb.add_phone(PhoneSetup {
+        internal_sensors: vec![EnvField::TemperatureC],
+        metered: false,
+        ..PhoneSetup::nokia6630("my-phone", Position::new(0.0, 0.0))
+    });
+
+    // Submit a query in Contory's SQL-like language. FROM intSensor pins
+    // the mechanism; omit it and the middleware picks one.
+    println!("SELECT temperature FROM intSensor FRESHNESS 30 sec DURATION 1 min EVERY 10 sec");
+    let id = phone
+        .submit(
+            "SELECT temperature FROM intSensor FRESHNESS 30 sec DURATION 1 min EVERY 10 sec",
+            Rc::new(PrintingClient),
+        )
+        .expect("query accepted");
+    println!("query {id} running on {:?}\n", phone.factory().mechanism_of(id).unwrap());
+
+    // Drive the virtual clock; items arrive through the Client.
+    tb.sim.run_for(SimDuration::from_secs(70));
+
+    println!(
+        "\nquery finished; energy used by the phone: {}",
+        phone
+            .phone()
+            .power()
+            .energy_between(simkit::SimTime::ZERO, tb.sim.now())
+    );
+}

@@ -1,0 +1,60 @@
+//! RegattaClassifier (paper §6.2): virtual checkpoints along the course,
+//! passages reported to the infrastructure (location + speed from the
+//! BT-GPS), live classification for every participant.
+//!
+//! Run with: `cargo run --example regatta`
+
+use sailing::scenario::{start_regatta, straight_course};
+use simkit::SimDuration;
+use testbed::Testbed;
+
+fn main() {
+    let tb = Testbed::with_seed(1905);
+    println!("Starting a 4-boat regatta over 3 checkpoints (600 m apart)…\n");
+    let regatta = start_regatta(&tb, 4, straight_course(3, 600.0));
+
+    // Print the classification every 5 minutes of race time.
+    for lap in 1..=4 {
+        tb.sim.run_for(SimDuration::from_mins(5));
+        println!("t = {} — classification:", tb.sim.now());
+        let standings = regatta.classifier.standings();
+        if standings.is_empty() {
+            println!("  (no checkpoint passages reported yet)");
+        }
+        for (place, s) in standings.iter().enumerate() {
+            println!(
+                "  {}. {:<8} checkpoints: {}/{}  last passage: {}  speed then: {:.1} kn",
+                place + 1,
+                s.entity,
+                s.passed,
+                regatta.course.len(),
+                s.last_passage,
+                s.last_speed,
+            );
+        }
+        println!();
+        let _ = lap;
+    }
+
+    // Compare the infrastructure's view with each boat's own.
+    println!("local vs infrastructure view:");
+    for p in &regatta.participants {
+        let remote = regatta
+            .classifier
+            .standings()
+            .into_iter()
+            .find(|s| s.entity == p.name())
+            .map(|s| s.passed)
+            .unwrap_or(0);
+        println!(
+            "  {:<8} local: {}  infrastructure: {}",
+            p.name(),
+            p.checkpoints_passed(),
+            remote
+        );
+    }
+    match regatta.classifier.leader() {
+        Some(leader) => println!("\nwinner so far: {} 🏆", leader.entity),
+        None => println!("\nno leader yet"),
+    }
+}

@@ -1,0 +1,89 @@
+//! WeatherWatcher (paper §6.2): weather for a geographic region, from
+//! live boats over the ad hoc network when possible, from the remote
+//! infrastructure otherwise.
+//!
+//! Run with: `cargo run --example sailing_weather`
+
+use radio::{Position, Region};
+use sailing::{WeatherSource, WeatherWatcher};
+use sensors::EnvField;
+use simkit::SimDuration;
+use testbed::{PhoneSetup, Testbed};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let tb = Testbed::with_seed(2005);
+
+    // An official weather station near a guest harbour, 30 km away,
+    // reporting into the infrastructure every minute.
+    let harbour = Position::new(30_000.0, 5_000.0);
+    tb.add_weather_station(
+        "fmi-harbour",
+        harbour,
+        &[EnvField::TemperatureC, EnvField::WindKnots, EnvField::PressureHpa],
+        SimDuration::from_secs(60),
+    );
+
+    // Our boat and a neighbour sailing close by; the neighbour shares its
+    // onboard observations (ad hoc + infrastructure).
+    let me = tb.add_phone(PhoneSetup {
+        internal_sensors: vec![EnvField::TemperatureC, EnvField::WindKnots],
+        cell_on: true,
+        ..PhoneSetup::nokia9500("my-boat", Position::new(0.0, 0.0))
+    });
+    let neighbor = tb.add_phone(PhoneSetup {
+        internal_sensors: vec![EnvField::TemperatureC, EnvField::WindKnots],
+        ..PhoneSetup::nokia9500("neighbor-boat", Position::new(60.0, 20.0))
+    });
+    tb.sim.run_for(SimDuration::from_secs(5));
+    WeatherWatcher::new(&tb.sim, neighbor.factory())
+        .start_sharing(&["temperature", "wind"], SimDuration::from_secs(20));
+    tb.sim.run_for(SimDuration::from_secs(60));
+
+    let watcher = WeatherWatcher::new(&tb.sim, me.factory());
+
+    // Request 1: weather right here — the neighbour answers over the ad
+    // hoc network ("information owned by boats currently sailing in such
+    // a region is often more reliable").
+    println!("--- weather around my position (ad hoc expected) ---");
+    request_and_print(&tb, &watcher, Region::new(Position::new(30.0, 10.0), 500.0));
+
+    // Request 2: weather near the far harbour — too far for multi-hop ad
+    // hoc provisioning, so the query goes to the infrastructure.
+    println!("\n--- weather near the guest harbour, 30 km away (infrastructure expected) ---");
+    request_and_print(&tb, &watcher, Region::new(harbour, 1_000.0));
+}
+
+fn request_and_print(tb: &Testbed, watcher: &WeatherWatcher, region: Region) {
+    let report = Rc::new(RefCell::new(None));
+    let r = report.clone();
+    watcher.request(region, &["temperature", "wind"], move |res| {
+        *r.borrow_mut() = Some(res);
+    });
+    tb.sim.run_for(SimDuration::from_secs(90));
+    let outcome = report.borrow_mut().take();
+    match outcome {
+        Some(Ok(report)) => {
+            println!(
+                "source: {}",
+                match report.source {
+                    WeatherSource::AdHoc => "boats in the region (ad hoc network)",
+                    WeatherSource::Infrastructure => "remote context infrastructure",
+                }
+            );
+            for field in ["temperature", "wind"] {
+                match report.latest(field) {
+                    Some(obs) => println!(
+                        "  {field:<12} {} (from {})",
+                        obs.value,
+                        obs.source.as_ref().map(|s| s.0.as_str()).unwrap_or("?")
+                    ),
+                    None => println!("  {field:<12} (no observation)"),
+                }
+            }
+        }
+        Some(Err(e)) => println!("request failed: {e}"),
+        None => println!("request still pending (increase the run time)"),
+    }
+}

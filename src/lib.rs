@@ -1,0 +1,2 @@
+//! umbrella
+pub use contory;

@@ -1,0 +1,264 @@
+//! Workspace-level integration tests spanning every crate: determinism,
+//! concurrent multi-mechanism provisioning, cross-source aggregation and
+//! the measurement artefacts the paper describes.
+
+use contory::{
+    AggregationStrategy, CollectingClient, CxtAggregator, CxtItem, CxtValue, Mechanism, Trust,
+};
+use phone::{Consumer, Milliwatts, PhoneModel};
+use radio::Position;
+use sensors::EnvField;
+use simkit::{SimDuration, SimTime};
+use testbed::{PhoneSetup, Testbed};
+use std::rc::Rc;
+
+/// The same seed replays the entire stack identically: query deliveries,
+/// item values, mechanism choices and energy.
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = |seed: u64| {
+        let tb = Testbed::with_seed(seed);
+        let phone = tb.add_phone(PhoneSetup {
+            internal_sensors: vec![EnvField::TemperatureC],
+            metered: false,
+            ..PhoneSetup::nokia6630("p", Position::new(0.0, 0.0))
+        });
+        let provider = tb.add_phone(PhoneSetup {
+            metered: false,
+            ..PhoneSetup::nokia6630("q", Position::new(5.0, 0.0))
+        });
+        provider.factory().register_cxt_server("app");
+        provider
+            .factory()
+            .publish_cxt_item(
+                CxtItem::new("wind", CxtValue::quantity(7.0, "kn"), tb.sim.now())
+                    .with_accuracy(0.5),
+                None,
+            )
+            .unwrap();
+        let client = Rc::new(CollectingClient::new());
+        phone
+            .submit(
+                "SELECT temperature FROM intSensor DURATION 2 min EVERY 10 sec",
+                client.clone(),
+            )
+            .unwrap();
+        phone
+            .submit(
+                "SELECT wind FROM adHocNetwork(all,1) DURATION 2 min EVERY 20 sec",
+                client.clone(),
+            )
+            .unwrap();
+        tb.sim.run_for(SimDuration::from_secs(150));
+        let items: Vec<String> = client
+            .all_items()
+            .iter()
+            .map(|i| format!("{i}"))
+            .collect();
+        let energy = phone
+            .phone()
+            .power()
+            .energy_between(SimTime::ZERO, tb.sim.now())
+            .0;
+        (items, energy, tb.sim.events_processed())
+    };
+    let a = run(77);
+    let b = run(77);
+    assert_eq!(a.0, b.0, "item streams identical");
+    assert_eq!(a.1, b.1, "energy identical");
+    assert_eq!(a.2, b.2, "event counts identical");
+    let c = run(78);
+    assert_ne!(a.0, c.0, "different seeds diverge");
+}
+
+/// One phone running queries over three mechanisms at once — internal
+/// sensor, BT ad hoc and the UMTS infrastructure — each assigned to its
+/// own facade, all delivering concurrently.
+#[test]
+fn three_mechanisms_concurrently_on_one_phone() {
+    let tb = Testbed::with_seed(88);
+    tb.add_weather_station(
+        "station",
+        Position::new(5_000.0, 0.0),
+        &[EnvField::PressureHpa],
+        SimDuration::from_secs(30),
+    );
+    tb.sim.run_for(SimDuration::from_secs(60));
+    let phone = tb.add_phone(PhoneSetup {
+        internal_sensors: vec![EnvField::TemperatureC],
+        cell_on: true,
+        metered: false,
+        ..PhoneSetup::nokia6630("hub", Position::new(0.0, 0.0))
+    });
+    let neighbor = tb.add_phone(PhoneSetup {
+        metered: false,
+        ..PhoneSetup::nokia6630("peer", Position::new(5.0, 0.0))
+    });
+    neighbor.factory().register_cxt_server("app");
+    neighbor
+        .factory()
+        .publish_cxt_item(
+            CxtItem::new("wind", CxtValue::quantity(9.0, "kn"), tb.sim.now()).with_accuracy(0.5),
+            None,
+        )
+        .unwrap();
+
+    let client = Rc::new(CollectingClient::new());
+    let q_local = phone
+        .submit(
+            "SELECT temperature FROM intSensor DURATION 5 min EVERY 15 sec",
+            client.clone(),
+        )
+        .unwrap();
+    let q_adhoc = phone
+        .submit(
+            "SELECT wind FROM adHocNetwork(all,1) DURATION 5 min EVERY 30 sec",
+            client.clone(),
+        )
+        .unwrap();
+    let q_infra = phone
+        .submit(
+            "SELECT pressure FROM extInfra DURATION 5 min EVERY 60 sec",
+            client.clone(),
+        )
+        .unwrap();
+    assert_eq!(phone.factory().mechanism_of(q_local), Some(Mechanism::IntSensor));
+    assert_eq!(phone.factory().mechanism_of(q_adhoc), Some(Mechanism::AdHocBt));
+    assert_eq!(phone.factory().mechanism_of(q_infra), Some(Mechanism::Infra));
+    tb.sim.run_for(SimDuration::from_mins(4));
+    assert!(client.items_for(q_local).len() >= 10, "internal sensor flows");
+    assert!(client.items_for(q_adhoc).len() >= 4, "ad hoc flows");
+    assert!(client.items_for(q_infra).len() >= 2, "infrastructure flows");
+    assert_eq!(phone.factory().active_queries(), 3);
+}
+
+/// Cross-source fusion: the aggregator combines an own-sensor reading
+/// with neighbour readings, weighting by accuracy — the paper's claim
+/// that combining mechanisms "allows applications to partly relieve the
+/// uncertainty of single context sources".
+#[test]
+fn aggregating_across_mechanisms_improves_the_estimate() {
+    let tb = Testbed::with_seed(99);
+    let here = Position::new(0.0, 0.0);
+    let phone = tb.add_phone(PhoneSetup {
+        internal_sensors: vec![EnvField::TemperatureC],
+        metered: false,
+        ..PhoneSetup::nokia6630("hub", Position::new(0.0, 0.0))
+    });
+    // Two neighbours with *better* thermometers publish over BT.
+    for (i, x) in [(0u64, 4.0), (1, 6.0)] {
+        let n = tb.add_phone(PhoneSetup {
+            internal_sensors: vec![EnvField::TemperatureC],
+            metered: false,
+            ..PhoneSetup::nokia6630(format!("n{i}"), Position::new(x, 0.0))
+        });
+        n.factory().register_cxt_server("app");
+        let truth = tb.env.sample(EnvField::TemperatureC, Position::new(x, 0.0), tb.sim.now());
+        n.factory()
+            .publish_cxt_item(
+                CxtItem::new("temperature", CxtValue::quantity(truth + 0.05, "C"), tb.sim.now())
+                    .with_accuracy(0.1)
+                    .with_trust(Trust::Community),
+                None,
+            )
+            .unwrap();
+    }
+    let client = Rc::new(CollectingClient::new());
+    phone
+        .submit(
+            "SELECT temperature FROM intSensor DURATION 3 samples EVERY 5 sec",
+            client.clone(),
+        )
+        .unwrap();
+    phone
+        .submit(
+            "SELECT temperature FROM adHocNetwork(all,1) DURATION 2 samples EVERY 30 sec",
+            client.clone(),
+        )
+        .unwrap();
+    tb.sim.run_for(SimDuration::from_secs(120));
+    let items = client.all_items();
+    assert!(items.len() >= 4, "both sources contributed: {}", items.len());
+    let fused = CxtAggregator::new()
+        .combine(&items, AggregationStrategy::WeightedByAccuracy, tb.sim.now())
+        .expect("fusable");
+    let truth = tb.env.sample(EnvField::TemperatureC, here, tb.sim.now());
+    let fused_err = (fused.value.as_f64().unwrap() - truth).abs();
+    assert!(fused_err < 1.5, "fused {fused_err} off truth");
+    // The fused accuracy beats the phone's own 0.5-accuracy sensor.
+    assert!(fused.metadata.accuracy.unwrap() < 0.5);
+}
+
+/// The paper's measurement artefact: a metered Nokia 9500 browns out
+/// within 30 s of WiFi coming up; the same phone unmetered stays up —
+/// which is exactly why Table 2's WiFi rows are lower bounds.
+#[test]
+fn metered_wifi_communicator_browns_out_unmetered_survives() {
+    for (metered, expect_on) in [(true, false), (false, true)] {
+        let tb = Testbed::with_seed(111);
+        let phone = tb.add_phone(PhoneSetup {
+            metered,
+            ..PhoneSetup::nokia9500("c", Position::new(0.0, 0.0))
+        });
+        tb.sim.run_for(SimDuration::from_secs(35));
+        assert_eq!(
+            phone.phone().is_on(),
+            expect_on,
+            "metered={metered} should leave the phone on={expect_on}"
+        );
+    }
+}
+
+/// Battery-life estimate for the sailing scenario: with the paper's
+/// numbers, continuous UMTS provisioning drains the pack orders of
+/// magnitude faster than BT provisioning.
+#[test]
+fn provisioning_choice_dominates_battery_life() {
+    // Per-item energy from Table 2 at one item per minute.
+    let bt_mw = 0.099 * 1000.0 / 60.0; // J/item -> mW at 1/min
+    let umts_mw = 14.076 * 1000.0 / 60.0;
+    let pack_j = 0.9 * 3.7 * 3600.0; // ~900 mAh at 3.7 V nominal
+    let bt_hours = pack_j / (bt_mw / 1000.0) / 3600.0;
+    let umts_hours = pack_j / (umts_mw / 1000.0) / 3600.0;
+    assert!(bt_hours / umts_hours > 100.0);
+    // And the phone model agrees qualitatively: sustained 1 W kills a
+    // phone in a day; 10 mW lasts weeks.
+    let sim = simkit::Sim::new();
+    let p = phone::Phone::new(&sim, phone::PhoneConfig::default());
+    p.power().set(Consumer::CellRadio, Milliwatts(1000.0));
+    assert!(p.power().total().0 > 1000.0);
+}
+
+/// Mixed phone models on one testbed: a 7610 (GPRS-only, no WiFi) still
+/// provisions over BT and the infrastructure.
+#[test]
+fn nokia7610_works_without_wifi() {
+    let tb = Testbed::with_seed(121);
+    let phone = tb.add_phone(PhoneSetup {
+        name: "older".into(),
+        model: PhoneModel::Nokia7610,
+        position: Position::new(0.0, 0.0),
+        metered: false,
+        internal_sensors: vec![EnvField::NoiseDb],
+        wifi_on: false,
+        cell_on: true,
+        factory: contory::FactoryConfig::default(),
+    });
+    assert!(phone.wifi_radio().is_none(), "no WLAN on the 7610");
+    let client = Rc::new(CollectingClient::new());
+    let id = phone
+        .submit(
+            "SELECT noise FROM intSensor DURATION 3 samples EVERY 5 sec",
+            client.clone(),
+        )
+        .unwrap();
+    tb.sim.run_for(SimDuration::from_secs(30));
+    assert_eq!(client.items_for(id).len(), 3);
+    // Multi-hop ad hoc requests degrade to BT (then infra) on this model.
+    let q = contory::query::CxtQuery::parse(
+        "SELECT wind FROM adHocNetwork(all,3) DURATION 1 min",
+    )
+    .unwrap();
+    let candidates = phone.factory().candidates(&q);
+    assert_eq!(candidates, vec![Mechanism::AdHocBt, Mechanism::Infra]);
+}

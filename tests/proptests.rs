@@ -1,0 +1,335 @@
+//! Cross-crate property-based tests (proptest): invariants of the query
+//! language, query merging, statistics, traces, the XML codec, NMEA and
+//! the event windows.
+
+use contory::merge::{post_extract, try_merge};
+use contory::policy::Condition;
+use contory::query::{
+    AggFunc, CmpOp, CxtQuery, DurationClause, EventExpr, EventTerm, NumNodes, PredValue,
+    QueryMode, Source, WherePredicate,
+};
+use contory::{CxtItem, CxtValue, EventWindow};
+use fuego::xml::XmlElement;
+use proptest::prelude::*;
+use simkit::stats::Summary;
+use simkit::trace::TimeSeries;
+use simkit::{SimDuration, SimTime};
+
+// ------------------------------------------------------------------
+// Strategies
+// ------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    // Identifiers that cannot collide with keywords or aggregates.
+    "[a-z][a-z0-9]{0,8}".prop_map(|s| format!("t{s}"))
+}
+
+fn duration_secs() -> impl Strategy<Value = SimDuration> {
+    (1u64..7200).prop_map(SimDuration::from_secs)
+}
+
+fn num3() -> impl Strategy<Value = f64> {
+    // Numbers with three decimals: exact in display/parse round trips.
+    (0u32..100_000).prop_map(|n| n as f64 / 1000.0)
+}
+
+fn source() -> impl Strategy<Value = Source> {
+    prop_oneof![
+        Just(Source::IntSensor),
+        Just(Source::ExtInfra),
+        (
+            prop_oneof![Just(NumNodes::All), (1u32..20).prop_map(NumNodes::First)],
+            1u32..5
+        )
+            .prop_map(|(num_nodes, num_hops)| Source::AdHocNetwork {
+                num_nodes,
+                num_hops
+            }),
+        ident().prop_map(Source::Entity),
+        (num3(), num3(), num3()).prop_map(|(x, y, radius)| Source::Region { x, y, radius }),
+    ]
+}
+
+fn where_predicate() -> impl Strategy<Value = WherePredicate> {
+    (
+        prop_oneof![
+            Just("accuracy".to_owned()),
+            Just("precision".to_owned()),
+            Just("correctness".to_owned()),
+            Just("completeness".to_owned()),
+        ],
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge),
+        ],
+        num3(),
+    )
+        .prop_map(|(key, op, value)| WherePredicate {
+            key,
+            op,
+            value: PredValue::Number(value),
+        })
+}
+
+fn event_term(field: String) -> impl Strategy<Value = EventTerm> {
+    prop_oneof![
+        num3().prop_map(EventTerm::Number),
+        Just(EventTerm::Field(field.clone())),
+        prop_oneof![
+            Just(AggFunc::Avg),
+            Just(AggFunc::Min),
+            Just(AggFunc::Max),
+            Just(AggFunc::Sum),
+            Just(AggFunc::Count),
+        ]
+        .prop_map(move |func| EventTerm::Agg {
+            func,
+            field: field.clone()
+        }),
+    ]
+}
+
+fn event_expr(field: String) -> impl Strategy<Value = EventExpr> {
+    let leaf = (
+        event_term(field.clone()),
+        prop_oneof![Just(CmpOp::Gt), Just(CmpOp::Lt), Just(CmpOp::Ge), Just(CmpOp::Le)],
+        event_term(field),
+    )
+        .prop_map(|(left, op, right)| EventExpr::Cmp { left, op, right });
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), inner).prop_map(|(a, b)| {
+            if a == b {
+                a
+            } else {
+                EventExpr::And(Box::new(a), Box::new(b))
+            }
+        })
+    })
+}
+
+fn query() -> impl Strategy<Value = CxtQuery> {
+    (
+        ident(),
+        proptest::option::of(source()),
+        proptest::collection::vec(where_predicate(), 0..3),
+        proptest::option::of(duration_secs()),
+        prop_oneof![
+            duration_secs().prop_map(DurationClause::Time),
+            (1u32..100).prop_map(DurationClause::Samples)
+        ],
+    )
+        .prop_flat_map(|(select, from, where_clause, freshness, duration)| {
+            let field = select.clone();
+            prop_oneof![
+                Just(QueryMode::OnDemand),
+                duration_secs().prop_map(QueryMode::Periodic),
+                event_expr(field).prop_map(QueryMode::Event),
+            ]
+            .prop_map(move |mode| CxtQuery {
+                select: select.clone(),
+                from: from.clone(),
+                where_clause: where_clause.clone(),
+                freshness,
+                duration,
+                mode,
+            })
+        })
+}
+
+fn item_for(select: &str) -> impl Strategy<Value = CxtItem> {
+    let select = select.to_owned();
+    (num3(), proptest::option::of(num3()), 0u64..3600).prop_map(move |(v, acc, age)| {
+        let mut item = CxtItem::new(
+            select.clone(),
+            CxtValue::number(v),
+            SimTime::from_secs(3600 - age),
+        );
+        item.metadata.accuracy = acc;
+        item.metadata.precision = acc;
+        item.metadata.correctness = acc.map(|a| a.min(1.0));
+        item.metadata.completeness = acc.map(|a| a.min(1.0));
+        item
+    })
+}
+
+// ------------------------------------------------------------------
+// Properties
+// ------------------------------------------------------------------
+
+proptest! {
+    /// Rendering a query and parsing it back is stable: the round-trip
+    /// fixes the canonical form.
+    #[test]
+    fn query_display_parse_round_trip(q in query()) {
+        let rendered = q.to_string();
+        let parsed = CxtQuery::parse(&rendered)
+            .unwrap_or_else(|e| panic!("canonical text must parse: {rendered}: {e}"));
+        prop_assert_eq!(parsed.to_string(), rendered);
+    }
+
+    /// Parsing canonical text reproduces the query's clauses exactly for
+    /// non-EVENT queries (EVENT trees may re-associate).
+    #[test]
+    fn query_parse_is_exact_without_event(q in query()) {
+        prop_assume!(!matches!(q.mode, QueryMode::Event(_)));
+        let parsed = CxtQuery::parse(&q.to_string()).unwrap();
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// Merging is symmetric: merge(a,b) == merge(b,a).
+    #[test]
+    fn merge_is_symmetric(a in query(), b in query()) {
+        let ab = try_merge(&a, &b);
+        let ba = try_merge(&b, &a);
+        match (&ab, &ba) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                // EVENT disjunction order may differ; compare modulo mode
+                // for event queries.
+                if !matches!(a.mode, QueryMode::Event(_)) {
+                    prop_assert_eq!(x, y);
+                }
+            }
+            _ => prop_assert!(false, "asymmetric mergeability"),
+        }
+    }
+
+    /// Coverage: any item a member accepts, the merged query accepts too
+    /// (post-extraction can always recover member results).
+    #[test]
+    fn merged_query_covers_members(a in query(), b in query(), items in proptest::collection::vec(item_for("tshared"), 1..8)) {
+        let mut a = a;
+        let mut b = b;
+        a.select = "tshared".to_owned();
+        b.select = "tshared".to_owned();
+        let Some(merged) = try_merge(&a, &b) else {
+            return Ok(());
+        };
+        let now = SimTime::from_secs(3600);
+        for member in [&a, &b] {
+            let member_hits = post_extract(member, &items, now);
+            let merged_hits = post_extract(&merged, &items, now);
+            for hit in &member_hits {
+                prop_assert!(
+                    merged_hits.contains(hit),
+                    "item accepted by member but dropped by merged:\n member {member}\n merged {merged}"
+                );
+            }
+        }
+    }
+
+    /// Merging is idempotent on a query with itself, except for EVENT
+    /// queries (self-merge produces `cond OR cond`).
+    #[test]
+    fn merge_with_self_is_identity(q in query()) {
+        prop_assume!(!matches!(q.mode, QueryMode::Event(_)));
+        // WHERE clauses with repeated keys can collapse; require unique keys.
+        let mut keys: Vec<&str> = q.where_clause.iter().map(|p| p.key.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assume!(keys.len() == q.where_clause.len());
+        let merged = try_merge(&q, &q).expect("self-merge always possible");
+        prop_assert_eq!(merged, q);
+    }
+
+    /// Summary::merge equals accumulating everything in one pass.
+    #[test]
+    fn summary_merge_matches_combined(a in proptest::collection::vec(-1e6f64..1e6, 0..50),
+                                      b in proptest::collection::vec(-1e6f64..1e6, 0..50)) {
+        let mut m = Summary::of(&a);
+        m.merge(&Summary::of(&b));
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let full = Summary::of(&all);
+        prop_assert_eq!(m.count(), full.count());
+        prop_assert!((m.mean() - full.mean()).abs() <= 1e-6 * (1.0 + full.mean().abs()));
+        prop_assert!((m.variance() - full.variance()).abs() <= 1e-4 * (1.0 + full.variance().abs()));
+    }
+
+    /// Trace integration is additive over adjacent windows.
+    #[test]
+    fn trace_integration_is_additive(points in proptest::collection::vec((0u64..1000, 0f64..2000.0), 1..30),
+                                     split in 0u64..1000) {
+        let mut sorted = points;
+        sorted.sort_by_key(|(t, _)| *t);
+        sorted.dedup_by_key(|(t, _)| *t);
+        let mut ts = TimeSeries::new("p");
+        for (t, v) in &sorted {
+            ts.record(SimTime::from_secs(*t), *v);
+        }
+        let a = SimTime::ZERO;
+        let m = SimTime::from_secs(split);
+        let z = SimTime::from_secs(1000);
+        let whole = ts.integrate(a, z);
+        let parts = ts.integrate(a, m) + ts.integrate(m, z);
+        prop_assert!((whole - parts).abs() < 1e-6 * (1.0 + whole.abs()));
+    }
+
+    /// XML escaping round-trips arbitrary attribute values and text.
+    #[test]
+    fn xml_round_trips(attr in "[ -~]{0,40}", text in "[ -~]{0,60}") {
+        let el = XmlElement::new("node")
+            .attr("value", attr.clone())
+            .child(XmlElement::new("inner").text(text.clone()));
+        let parsed = XmlElement::parse(&el.to_xml()).unwrap();
+        prop_assert_eq!(parsed.attribute("value"), Some(attr.as_str()));
+        prop_assert_eq!(parsed.find("inner").unwrap().text_content(), text.as_str());
+    }
+
+    /// EventWindow's AVG equals the naive mean of the window's values.
+    #[test]
+    fn event_window_avg_matches_naive(values in proptest::collection::vec(-1e3f64..1e3, 1..40), threshold in -1e3f64..1e3) {
+        let mut w = EventWindow::new();
+        for v in &values {
+            w.push(CxtItem::new("x", CxtValue::number(*v), SimTime::ZERO));
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let expr = EventExpr::Cmp {
+            left: EventTerm::Agg { func: AggFunc::Avg, field: "x".into() },
+            op: CmpOp::Gt,
+            right: EventTerm::Number(threshold),
+        };
+        // Skip knife-edge comparisons where float associativity decides.
+        prop_assume!((mean - threshold).abs() > 1e-9);
+        prop_assert_eq!(w.eval(&expr), mean > threshold);
+    }
+
+    /// GGA sentences round-trip positions to within NMEA quantization.
+    #[test]
+    fn nmea_gga_round_trip(x in -20_000f64..20_000.0, y in -20_000f64..20_000.0) {
+        use std::rc::Rc;
+        let p = radio::Position::new(x, y);
+        let mut gps = sensors::GpsReceiver::new(Rc::new(move || p), 0.0, 1);
+        let burst = gps.nmea_burst(SimTime::from_secs(60));
+        let gga = burst.iter().find(|s| s.starts_with("$GPGGA")).unwrap();
+        let back = sensors::gps::parse_gga(gga).unwrap();
+        prop_assert!((back.x - x).abs() < 1.0, "x {} vs {}", back.x, x);
+        prop_assert!((back.y - y).abs() < 1.0, "y {} vs {}", back.y, y);
+    }
+
+    /// Policy conditions round-trip through their text form.
+    #[test]
+    fn condition_round_trip(variable in "[a-z]{1,10}", n in 0u32..1000) {
+        let text = format!("<{variable}, moreThan, {n}> or <{variable}, equal, low>");
+        let c = Condition::parse(&text).unwrap();
+        let again = Condition::parse(&c.to_string()).unwrap();
+        prop_assert_eq!(c, again);
+    }
+
+    /// Item wire sizes stay within the paper's envelope for items shaped
+    /// like the paper's (wind-like through location-like).
+    #[test]
+    fn item_wire_size_bounds(v in num3(), acc in proptest::option::of(num3())) {
+        let mut small = CxtItem::new("wind", CxtValue::quantity(v, "kn"), SimTime::ZERO);
+        small.metadata.accuracy = acc;
+        prop_assert!((40..=80).contains(&small.wire_size()), "wind {}", small.wire_size());
+        let big = CxtItem::new("location", CxtValue::Position { x: v, y: v }, SimTime::ZERO)
+            .with_source("btgps://inssirf-iii/serial-0")
+            .with_accuracy(5.0)
+            .with_trust(contory::Trust::Trusted);
+        prop_assert!((110..=160).contains(&big.wire_size()), "location {}", big.wire_size());
+    }
+}
