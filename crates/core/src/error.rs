@@ -16,6 +16,14 @@ pub enum ContoryError {
         /// Why every candidate was rejected.
         reason: String,
     },
+    /// The device has candidate mechanisms for the query, but every one
+    /// of them has failed (total blackout).
+    AllMechanismsFailed {
+        /// Context type that could not be provisioned.
+        cxt_type: String,
+        /// Mechanisms that were tried, rendered for diagnostics.
+        tried: String,
+    },
     /// The referenced query is not active.
     UnknownQuery(u64),
     /// The access controller blocked the interaction.
@@ -32,6 +40,12 @@ impl fmt::Display for ContoryError {
             ContoryError::Parse(e) => write!(f, "{e}"),
             ContoryError::NoMechanism { cxt_type, reason } => {
                 write!(f, "no mechanism can provision '{cxt_type}': {reason}")
+            }
+            ContoryError::AllMechanismsFailed { cxt_type, tried } => {
+                write!(
+                    f,
+                    "all mechanisms failed for '{cxt_type}' (tried: {tried})"
+                )
             }
             ContoryError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
             ContoryError::AccessDenied(who) => write!(f, "access denied for {who}"),
@@ -71,5 +85,12 @@ mod tests {
         };
         assert!(e.to_string().contains("temperature"));
         assert!(Error::source(&e).is_none());
+        let e = ContoryError::AllMechanismsFailed {
+            cxt_type: "location".into(),
+            tried: "intSensor, adHocNetwork/BT".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("all mechanisms failed"), "{s}");
+        assert!(s.contains("adHocNetwork/BT"), "{s}");
     }
 }

@@ -11,9 +11,11 @@
 //! disconnects (the paper's Fig. 5), and back once the sensor recovers.
 
 use crate::access::{AccessController, SecurityMode};
+use crate::backoff::BackoffState;
 use crate::client::Client;
 use crate::error::ContoryError;
 use crate::facade::Facade;
+use crate::failover::{FailoverConfig, FailoverReport, FailoverTracker};
 use crate::item::CxtItem;
 use crate::manager::{QueryManager, QueryRecord};
 use crate::monitor::{ResourceEvent, ResourcesMonitor};
@@ -22,10 +24,10 @@ use crate::providers::adhoc::{AdHocCxtProvider, AdHocFlavor};
 use crate::providers::infra::InfraCxtProvider;
 use crate::providers::local::LocalCxtProvider;
 use crate::publisher::CxtPublisher;
-use crate::query::{CxtQuery, DurationClause, Source};
+use crate::query::{CxtQuery, DurationClause, QueryMode, Source};
 use crate::refs::{RefError, RefKind, References};
 use crate::repository::CxtRepository;
-use simkit::{Sim, SimDuration};
+use simkit::{DetRng, Sim, SimDuration};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -90,6 +92,8 @@ pub struct FactoryConfig {
     pub recovery_probe: SimDuration,
     /// Whether publishers must register before publishing (§4.4).
     pub require_registration: bool,
+    /// Failure detection, retry and backoff tunables.
+    pub failover: FailoverConfig,
 }
 
 impl Default for FactoryConfig {
@@ -100,6 +104,7 @@ impl Default for FactoryConfig {
             access_capacity: 64,
             recovery_probe: SimDuration::from_secs(30),
             require_registration: true,
+            failover: FailoverConfig::default(),
         }
     }
 }
@@ -119,6 +124,17 @@ struct Inner {
     registered_servers: BTreeSet<String>,
     probes_in_flight: BTreeSet<QueryId>,
     prev_actions: Vec<RuleAction>,
+    /// Per-query failover bookkeeping (also attached to the monitor).
+    failover: FailoverTracker,
+    /// Per-query retry counters driving the backoff schedule.
+    backoff: BTreeMap<QueryId, BackoffState>,
+    /// Queries with a same-mechanism retry scheduled (watchdog holds off).
+    retry_pending: BTreeSet<QueryId>,
+    /// Deterministic jitter stream for retry delays.
+    rng: DetRng,
+    /// Terminal errors recorded while a submit cascade unwound, so
+    /// `process_cxt_query` can report them synchronously.
+    terminations: BTreeMap<QueryId, ContoryError>,
 }
 
 /// The device's context factory. Cloneable handle; create one per device.
@@ -137,6 +153,9 @@ impl ContextFactory {
             repo.set_remote(cell.clone());
         }
         let publisher = CxtPublisher::new(refs.bt.clone(), refs.wifi.clone());
+        let failover = FailoverTracker::new();
+        monitor.attach_failover(failover.clone());
+        let rng = DetRng::new(config.failover.rng_seed);
         let factory = ContextFactory {
             inner: Rc::new(RefCell::new(Inner {
                 sim: sim.clone(),
@@ -153,6 +172,11 @@ impl ContextFactory {
                 registered_servers: BTreeSet::new(),
                 probes_in_flight: BTreeSet::new(),
                 prev_actions: Vec::new(),
+                failover,
+                backoff: BTreeMap::new(),
+                retry_pending: BTreeSet::new(),
+                rng,
+                terminations: BTreeMap::new(),
             })),
         };
         factory.build_facades();
@@ -298,7 +322,18 @@ impl ContextFactory {
                     for item in &items {
                         repo.store_local(item.clone());
                     }
-                    manager.deliver(id, items);
+                    let n = items.len() as u64;
+                    let delivered = manager.deliver(id, items);
+                    if delivered {
+                        // Successful delivery: close any provisioning gap
+                        // and reset the retry budget for this query.
+                        let (tracker, now) = {
+                            let mut i = inner.borrow_mut();
+                            i.backoff.remove(&id);
+                            (i.failover.clone(), i.sim.now())
+                        };
+                        tracker.delivered(id, n, now);
+                    }
                 }
             })
         };
@@ -395,6 +430,7 @@ impl ContextFactory {
                     client,
                     mechanism: Mechanism::IntSensor, // placeholder until assigned
                     failed: Vec::new(),
+                    suspended: false,
                 },
             );
         }
@@ -403,6 +439,31 @@ impl ContextFactory {
             Err(e) => {
                 self.inner.borrow().manager.remove(id);
                 return Err(e);
+            }
+        }
+        // A provider whose module was already down fails synchronously
+        // inside submit; the failure cascade may have exhausted every
+        // candidate and terminated the query before assign() returned.
+        // Surface that terminal error to the caller.
+        let terminal = self.inner.borrow_mut().terminations.remove(&id);
+        if let Some(e) = terminal {
+            if !self.inner.borrow().manager.contains(id) {
+                return Err(e);
+            }
+        }
+        {
+            let inner = self.inner.borrow();
+            let period = match query.mode {
+                QueryMode::Periodic(p) => Some(p),
+                _ => None,
+            };
+            inner.failover.set_period(id, period);
+        }
+        // Silence watchdog for periodic queries (opt-in via config).
+        if let QueryMode::Periodic(p) = query.mode {
+            let k = self.inner.borrow().config.failover.silence_periods;
+            if k > 0 {
+                self.start_watchdog(id, p, k);
             }
         }
         // Wall-time queries expire on schedule.
@@ -569,13 +630,16 @@ impl ContextFactory {
         let candidates = self.candidates(&query);
         let pick = candidates.iter().copied().find(|m| !failed.contains(m));
         let Some(mechanism) = pick else {
-            return Err(ContoryError::NoMechanism {
+            if candidates.is_empty() {
+                return Err(ContoryError::NoMechanism {
+                    cxt_type: query.select.clone(),
+                    reason: "device has no mechanism for this FROM clause".into(),
+                });
+            }
+            let tried: Vec<String> = candidates.iter().map(|m| m.to_string()).collect();
+            return Err(ContoryError::AllMechanismsFailed {
                 cxt_type: query.select.clone(),
-                reason: if candidates.is_empty() {
-                    "device has no mechanism for this FROM clause".into()
-                } else {
-                    "all candidate mechanisms have failed".into()
-                },
+                tried: tried.join(", "),
             });
         };
         let facade = self
@@ -589,6 +653,11 @@ impl ContextFactory {
         // radio is already down fails synchronously inside submit(),
         // re-entering assign() — which must not be overwritten afterwards.
         manager.set_mechanism(id, mechanism);
+        manager.set_suspended(id, false);
+        {
+            let inner = self.inner.borrow();
+            inner.failover.assigned(id, mechanism, inner.sim.now());
+        }
         facade.submit(id, query)?;
         Ok(mechanism)
     }
@@ -602,18 +671,68 @@ impl ContextFactory {
                 break;
             }
         }
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.backoff.remove(&id);
+            inner.retry_pending.remove(&id);
+            let now = inner.sim.now();
+            inner.failover.finished(id, now);
+        }
         self.inner.borrow().manager.remove(id);
         self.update_status();
     }
 
-    /// A provider died: mark the mechanism failed for those queries, move
-    /// them to the next candidate and start recovery probes.
+    /// A provider died: either retry the same mechanism after a backoff
+    /// delay (while the per-query retry budget lasts), or mark the
+    /// mechanism failed, move the query to the next candidate and start
+    /// recovery probes. With every candidate failed, long-running queries
+    /// are suspended (revived by the probe) and on-demand queries are
+    /// terminated with [`ContoryError::AllMechanismsFailed`].
     fn handle_provider_failure(&self, mechanism: Mechanism, ids: Vec<QueryId>, err: RefError) {
-        let manager = self.inner.borrow().manager.clone();
+        let (manager, tracker, now) = {
+            let inner = self.inner.borrow();
+            (inner.manager.clone(), inner.failover.clone(), inner.sim.now())
+        };
         for id in ids {
             if !manager.contains(id) {
                 continue;
             }
+            tracker.failure(id, mechanism, now);
+            // Same-mechanism retry with capped exponential backoff.
+            let retry_delay = {
+                let mut guard = self.inner.borrow_mut();
+                let inner = &mut *guard;
+                let max_retries = inner.config.failover.max_retries;
+                let policy = inner.config.failover.backoff.clone();
+                let state = inner.backoff.entry(id).or_default();
+                if state.attempts() < max_retries {
+                    let delay = state.next_delay(&policy, &mut inner.rng);
+                    inner.retry_pending.insert(id);
+                    Some(delay)
+                } else {
+                    inner.backoff.remove(&id);
+                    None
+                }
+            };
+            if let Some(delay) = retry_delay {
+                tracker.retried(id);
+                manager.inform_error(
+                    id,
+                    &format!(
+                        "{mechanism} failed: {err}; retrying in {:.1}s",
+                        delay.as_secs_f64()
+                    ),
+                );
+                let weak = Rc::downgrade(&self.inner);
+                let sim = self.inner.borrow().sim.clone();
+                sim.schedule_in(delay, move || {
+                    if let Some(inner) = weak.upgrade() {
+                        ContextFactory { inner }.retry_mechanism(id);
+                    }
+                });
+                continue;
+            }
+            // Retry budget exhausted: fail over to the next candidate.
             manager.mark_failed(id, mechanism);
             manager.inform_error(id, &format!("{mechanism} failed: {err}"));
             match self.assign(id) {
@@ -624,11 +743,52 @@ impl ContextFactory {
                     );
                     self.schedule_recovery_probe(id);
                 }
-                Err(e) => {
-                    manager.inform_error(id, &format!("query terminated: {e}"));
-                    manager.remove(id);
-                }
+                Err(e) => self.on_assign_failed(id, e),
             }
+        }
+        self.update_status();
+    }
+
+    /// Fires a scheduled same-mechanism retry.
+    fn retry_mechanism(&self, id: QueryId) {
+        self.inner.borrow_mut().retry_pending.remove(&id);
+        let manager = self.inner.borrow().manager.clone();
+        if !manager.contains(id) || manager.is_suspended(id) {
+            return;
+        }
+        match self.assign(id) {
+            Ok(_) => {}
+            Err(e) => self.on_assign_failed(id, e),
+        }
+    }
+
+    /// Every candidate mechanism failed for a query: suspend long-running
+    /// queries (the recovery probe revives them) and terminate on-demand
+    /// ones.
+    fn on_assign_failed(&self, id: QueryId, e: ContoryError) {
+        let (manager, tracker, now, long_running) = {
+            let inner = self.inner.borrow();
+            let long_running = inner
+                .manager
+                .query_of(id)
+                .is_some_and(|q| q.mode.is_long_running());
+            (
+                inner.manager.clone(),
+                inner.failover.clone(),
+                inner.sim.now(),
+                long_running,
+            )
+        };
+        if long_running && matches!(e, ContoryError::AllMechanismsFailed { .. }) {
+            manager.set_suspended(id, true);
+            tracker.suspended(id, now);
+            manager.inform_error(id, &format!("query suspended: {e}"));
+            self.schedule_recovery_probe(id);
+        } else {
+            manager.inform_error(id, &format!("query terminated: {e}"));
+            tracker.finished(id, now);
+            self.inner.borrow_mut().terminations.insert(id, e);
+            manager.remove(id);
         }
         self.update_status();
     }
@@ -732,11 +892,14 @@ impl ContextFactory {
             }
             manager.clear_failed(id);
             match factory.assign(id) {
-                Ok(m) => manager.inform_error(id, &format!("recovered: back on {m}")),
-                Err(e) => {
-                    manager.inform_error(id, &format!("query terminated: {e}"));
-                    manager.remove(id);
+                Ok(m) => {
+                    // The assign may have cascaded into a re-suspension if
+                    // the probed module flapped straight back down.
+                    if !manager.is_suspended(id) {
+                        manager.inform_error(id, &format!("recovered: back on {m}"));
+                    }
                 }
+                Err(e) => factory.on_assign_failed(id, e),
             }
         });
         let refs = self.inner.borrow().refs.clone();
@@ -768,6 +931,69 @@ impl ContextFactory {
         }
         let _ = manager;
         true
+    }
+
+    /// Starts the per-query silence watchdog: a periodic query that
+    /// delivers nothing for `k` consecutive periods is declared failed on
+    /// its current mechanism (the paper's transparent failover, but
+    /// driven by *absence* of data rather than an explicit provider
+    /// error).
+    fn start_watchdog(&self, id: QueryId, period: SimDuration, k: u32) {
+        let weak = Rc::downgrade(&self.inner);
+        let sim = self.inner.borrow().sim.clone();
+        sim.schedule_repeating(period, move || {
+            let Some(inner) = weak.upgrade() else {
+                return false;
+            };
+            ContextFactory { inner }.watchdog_step(id, period, k)
+        });
+    }
+
+    /// One watchdog tick; returns whether the watchdog should keep
+    /// running.
+    fn watchdog_step(&self, id: QueryId, period: SimDuration, k: u32) -> bool {
+        let (manager, tracker, now, retry_pending) = {
+            let inner = self.inner.borrow();
+            (
+                inner.manager.clone(),
+                inner.failover.clone(),
+                inner.sim.now(),
+                inner.retry_pending.contains(&id),
+            )
+        };
+        if !manager.contains(id) {
+            return false;
+        }
+        // Suspended queries are revived by the recovery probe; queries
+        // with a retry in flight are waiting out their backoff delay.
+        if manager.is_suspended(id) || retry_pending {
+            return true;
+        }
+        let Some(last) = tracker.last_activity(id) else {
+            return false;
+        };
+        if now.since(last) >= period * u64::from(k) {
+            let Some(current) = manager.mechanism_of(id) else {
+                return true;
+            };
+            manager.inform_error(
+                id,
+                &format!("watchdog: no items for {k} periods on {current}"),
+            );
+            // Pull the silent provider out before declaring the failure.
+            if let Some(f) = self.facade(current) {
+                f.cancel(id);
+            }
+            self.handle_provider_failure(current, vec![id], RefError::Timeout);
+        }
+        true
+    }
+
+    /// Snapshot of the per-query failover history (also available from
+    /// the monitor via [`ResourcesMonitor::failover_report`]).
+    pub fn failover_report(&self) -> FailoverReport {
+        let inner = self.inner.borrow();
+        inner.failover.report_at(inner.sim.now())
     }
 
     /// Evaluates the control policies against the current status and
@@ -833,6 +1059,10 @@ impl ContextFactory {
         inner
             .monitor
             .set_status("activeQueries", RuleValue::Number(inner.manager.len() as f64));
+        inner.monitor.set_status(
+            "suspendedQueries",
+            RuleValue::Number(inner.manager.suspended_count() as f64),
+        );
     }
 }
 

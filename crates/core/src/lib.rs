@@ -46,10 +46,12 @@
 
 mod access;
 mod aggregator;
+pub mod backoff;
 mod client;
 mod error;
 mod facade;
 mod factory;
+pub mod failover;
 mod item;
 mod manager;
 pub mod merge;
@@ -65,10 +67,12 @@ mod vocab;
 
 pub use access::{AccessController, AccessDecision, SecurityMode};
 pub use aggregator::{AggregationStrategy, CxtAggregator};
+pub use backoff::{BackoffPolicy, BackoffState};
 pub use client::{Client, ClientEvent, CollectingClient};
 pub use error::ContoryError;
 pub use facade::Facade;
 pub use factory::{ContextFactory, FactoryConfig, Mechanism, QueryId};
+pub use failover::{FailoverConfig, FailoverReport, FailoverTracker, QueryFailover};
 pub use item::{CxtItem, CxtValue, Metadata, SourceId, Trust};
 pub use manager::QueryManager;
 pub use monitor::{ResourceEvent, ResourceLevel, ResourcesMonitor};

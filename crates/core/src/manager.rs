@@ -19,6 +19,9 @@ pub(crate) struct QueryRecord {
     pub mechanism: Mechanism,
     /// Mechanisms that failed for this query (skipped until recovery).
     pub failed: Vec<Mechanism>,
+    /// Parked because every candidate mechanism failed; revived by the
+    /// recovery probe instead of being terminated.
+    pub suspended: bool,
 }
 
 struct Inner {
@@ -75,15 +78,42 @@ impl QueryManager {
         self.inner.borrow().records.get(&id).map(|r| r.mechanism)
     }
 
-    /// Active query ids currently served by `mechanism`.
+    /// Active query ids currently served by `mechanism` (suspended
+    /// queries ride no mechanism and are excluded).
     pub fn queries_on(&self, mechanism: Mechanism) -> Vec<QueryId> {
         self.inner
             .borrow()
             .records
             .iter()
-            .filter(|(_, r)| r.mechanism == mechanism)
+            .filter(|(_, r)| r.mechanism == mechanism && !r.suspended)
             .map(|(&id, _)| id)
             .collect()
+    }
+
+    /// Whether a query is currently suspended (all mechanisms failed,
+    /// waiting for a recovery probe).
+    pub fn is_suspended(&self, id: QueryId) -> bool {
+        self.inner
+            .borrow()
+            .records
+            .get(&id)
+            .is_some_and(|r| r.suspended)
+    }
+
+    /// Number of suspended queries.
+    pub fn suspended_count(&self) -> usize {
+        self.inner
+            .borrow()
+            .records
+            .values()
+            .filter(|r| r.suspended)
+            .count()
+    }
+
+    pub(crate) fn set_suspended(&self, id: QueryId, suspended: bool) {
+        if let Some(r) = self.inner.borrow_mut().records.get_mut(&id) {
+            r.suspended = suspended;
+        }
     }
 
     /// The original query text of an active query.

@@ -8,8 +8,10 @@
 //! This, in turn, will inform the ContextFactory which will enforce a
 //! reconfiguration strategy."
 
+use crate::failover::{FailoverReport, FailoverTracker};
 use crate::policy::{RuleValue, SystemStatus};
 use crate::refs::RefKind;
+use simkit::SimTime;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -64,6 +66,7 @@ struct Inner {
     status: SystemStatus,
     ref_health: BTreeMap<RefKind, bool>,
     listeners: Vec<Listener>,
+    failover: Option<FailoverTracker>,
 }
 
 /// Shared handle to the device's resource view.
@@ -102,6 +105,7 @@ impl ResourcesMonitor {
                 status,
                 ref_health: BTreeMap::new(),
                 listeners: Vec::new(),
+                failover: None,
             })),
         }
     }
@@ -155,6 +159,23 @@ impl ResourcesMonitor {
     /// Sets an arbitrary status variable (e.g. `activeQueries`).
     pub fn set_status(&self, variable: impl Into<String>, value: RuleValue) {
         self.inner.borrow_mut().status.set(variable, value);
+    }
+
+    /// Attaches the factory's failover tracker so failure-scenario tests
+    /// and benches can pull a [`FailoverReport`] from the monitor.
+    pub fn attach_failover(&self, tracker: FailoverTracker) {
+        self.inner.borrow_mut().failover = Some(tracker);
+    }
+
+    /// Snapshot of the per-query failover history (empty when no factory
+    /// is attached). Open provisioning gaps accrue up to `now`.
+    pub fn failover_report(&self, now: SimTime) -> FailoverReport {
+        self.inner
+            .borrow()
+            .failover
+            .as_ref()
+            .map(|t| t.report_at(now))
+            .unwrap_or_default()
     }
 }
 

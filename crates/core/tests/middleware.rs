@@ -10,8 +10,8 @@ use contory::refs::{
     InternalReference, ItemsResult, OnItems, OnRefError, RefError, References, StreamHandle,
 };
 use contory::{
-    CollectingClient, ContextFactory, CxtItem, CxtValue, FactoryConfig, Mechanism, QueryId,
-    ResourceEvent, ResourceLevel, SourceId,
+    CollectingClient, ContextFactory, ContoryError, CxtItem, CxtValue, FactoryConfig, Mechanism,
+    QueryId, ResourceEvent, ResourceLevel, SourceId,
 };
 use simkit::{Sim, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
@@ -108,6 +108,19 @@ impl MockBt {
 
     fn restore_sensor(&self) {
         self.state.borrow_mut().sensor_present = true;
+    }
+
+    /// Mutes the attached sensor *without* reporting an error: open
+    /// streams simply stop carrying items (exercises the silence
+    /// watchdog rather than the provider-failure path).
+    fn mute_sensor(&self) {
+        self.state.borrow_mut().sensor_present = false;
+    }
+
+    /// Flips BT availability (ad hoc rounds/subscriptions error while
+    /// unavailable).
+    fn set_available(&self, up: bool) {
+        self.state.borrow_mut().available = up;
     }
 
     fn discoveries(&self) -> u64 {
@@ -366,7 +379,7 @@ struct Rig {
     client: Rc<CollectingClient>,
 }
 
-fn rig_with(types: &[&str]) -> Rig {
+fn rig_with_config(types: &[&str], config: FactoryConfig) -> Rig {
     let sim = Sim::new();
     let internal = MockInternal::new(&sim, types);
     let bt = MockBt::new(&sim);
@@ -377,7 +390,7 @@ fn rig_with(types: &[&str]) -> Rig {
         wifi: None,
         cell: Some(Rc::new(cell.clone())),
     };
-    let factory = ContextFactory::new(&sim, refs, FactoryConfig::default());
+    let factory = ContextFactory::new(&sim, refs, config);
     Rig {
         sim,
         factory,
@@ -386,6 +399,10 @@ fn rig_with(types: &[&str]) -> Rig {
         cell,
         client: Rc::new(CollectingClient::new()),
     }
+}
+
+fn rig_with(types: &[&str]) -> Rig {
+    rig_with_config(types, FactoryConfig::default())
 }
 
 fn rig() -> Rig {
@@ -840,4 +857,157 @@ fn reduce_load_policy_slows_periodic_queries() {
         after <= before / 2 + 2,
         "reduceLoad should halve the rate: {before} then {after}"
     );
+}
+
+// ------------------------------------------------------------------
+// Failure detection, retry/backoff and the FailoverReport
+// ------------------------------------------------------------------
+
+#[test]
+fn silence_watchdog_detects_a_stalled_stream_and_fails_over() {
+    // The BT-GPS stream stays open but goes silent (no error): only the
+    // opt-in silence watchdog can notice. The horizon k × period must
+    // exceed the mechanism's startup latency (~15 s of BT discovery +
+    // stream open), otherwise the watchdog correctly flags the silent
+    // startup itself — so k = 4 periods of 5 s.
+    let mut config = FactoryConfig::default();
+    config.failover.silence_periods = 4;
+    let r = rig_with_config(&[], config);
+    r.bt.set_adhoc_items(vec![CxtItem::new(
+        "location",
+        CxtValue::Position { x: 50.0, y: 60.0 },
+        SimTime::ZERO,
+    )
+    .with_accuracy(30.0)
+    .with_source("peer://neighbor")]);
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT location FROM intSensor DURATION 2 hour EVERY 5 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    r.sim.run_for(SimDuration::from_secs(40));
+    assert_eq!(r.factory.mechanism_of(id), Some(Mechanism::IntSensor));
+    let before = r.client.items_for(id).len();
+    assert!(before > 0, "sensor items flow before the stall");
+
+    let stall_at = r.sim.now();
+    r.bt.mute_sensor();
+    r.sim.run_for(SimDuration::from_secs(60));
+    assert_eq!(
+        r.factory.mechanism_of(id),
+        Some(Mechanism::AdHocBt),
+        "watchdog kicked the stalled stream over to ad hoc"
+    );
+    assert!(r.client.items_for(id).len() > before, "items resumed");
+    assert!(
+        r.client.errors().iter().any(|e| e.contains("watchdog")),
+        "client told about the watchdog: {:?}",
+        r.client.errors()
+    );
+    let report = r.factory.failover_report();
+    let row = report.get(id).expect("query tracked");
+    assert!(row.failures >= 1, "silence counted as a failure");
+    assert_eq!(
+        row.mechanisms_tried,
+        vec![Mechanism::IntSensor, Mechanism::AdHocBt],
+        "trail records the switch"
+    );
+    assert!(row.first_failure_at.unwrap() >= stall_at, "detected after the stall");
+    // Detection is bounded by the watchdog horizon (k periods) plus one
+    // watchdog tick; the gap also covers one period of re-provisioning.
+    assert!(
+        row.gap_max <= SimDuration::from_secs((4 + 2) * 5),
+        "gap {:?} exceeds the detection + re-provisioning bound",
+        row.gap_max
+    );
+}
+
+#[test]
+fn transient_failures_are_retried_with_backoff_before_failover() {
+    // BT ad hoc drops; with max_retries = 2 the factory retries the same
+    // mechanism (with backoff) before failing over to the infrastructure.
+    let mut config = FactoryConfig::default();
+    config.failover.max_retries = 2;
+    let r = rig_with_config(&[], config);
+    r.bt
+        .set_adhoc_items(vec![temp_item(21.0, 0.2, SimTime::ZERO)]);
+    r.cell.set_canned(vec![temp_item(18.0, 0.3, SimTime::ZERO)]);
+    let id = r
+        .factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM adHocNetwork(all,1) DURATION 1 hour EVERY 5 sec",
+            r.client.clone(),
+        )
+        .unwrap();
+    r.sim.run_for(SimDuration::from_secs(20));
+    assert_eq!(r.factory.mechanism_of(id), Some(Mechanism::AdHocBt));
+    assert!(!r.client.items_for(id).is_empty());
+
+    r.bt.set_available(false);
+    r.sim.run_for(SimDuration::from_secs(120));
+    let report = r.factory.failover_report();
+    let row = report.get(id).expect("query tracked");
+    assert_eq!(row.retries, 2, "both retry budget slots were spent");
+    assert!(row.failures >= 3, "initial failure plus failed retries");
+    assert_eq!(
+        r.factory.mechanism_of(id),
+        Some(Mechanism::Infra),
+        "failed over to the infrastructure after the retries"
+    );
+    assert!(
+        row.mechanisms_tried.ends_with(&[Mechanism::AdHocBt, Mechanism::Infra]),
+        "trail {:?}",
+        row.mechanisms_tried
+    );
+    assert!(
+        r.client.errors().iter().any(|e| e.contains("retrying in")),
+        "client told about the backoff: {:?}",
+        r.client.errors()
+    );
+
+    // BT returns; the recovery probe restores the preferred mechanism
+    // and the backoff state was reset by successful deliveries.
+    r.bt.set_available(true);
+    r.sim.run_for(SimDuration::from_secs(120));
+    assert_eq!(r.factory.mechanism_of(id), Some(Mechanism::AdHocBt));
+}
+
+#[test]
+fn blackout_rejects_on_demand_query_with_all_mechanisms_failed() {
+    // Every candidate is dead from the start (BT unavailable, no WiFi,
+    // no cell): the provider fails synchronously inside submit, the
+    // failure cascade exhausts the candidate list, and the terminal
+    // AllMechanismsFailed error is surfaced directly from
+    // process_cxt_query — not swallowed into a stale Ok.
+    let sim = Sim::new();
+    let bt = MockBt::new(&sim);
+    bt.set_available(false);
+    let refs = References {
+        internal: None,
+        bt: Some(Rc::new(bt.clone())),
+        wifi: None,
+        cell: None,
+    };
+    let factory = ContextFactory::new(&sim, refs, FactoryConfig::default());
+    let client = Rc::new(CollectingClient::new());
+    let err = factory
+        .process_cxt_query_text(
+            "SELECT temperature FROM adHocNetwork(all,1) DURATION 1 samples",
+            client.clone(),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ContoryError::AllMechanismsFailed { .. }),
+        "unexpected error: {err}"
+    );
+    assert!(err.to_string().contains("all mechanisms failed"), "{err}");
+    assert!(err.to_string().contains("adHocNetwork/BT"), "trail in the error: {err}");
+    assert_eq!(factory.active_queries(), 0, "nothing left active");
+    // The attempt is still accounted in the failover report.
+    let report = factory.failover_report();
+    assert!(report.total_failures() >= 1, "failure recorded:\n{report}");
+    sim.run_for(SimDuration::from_secs(10));
+    assert!(client.all_items().is_empty(), "nothing delivered");
 }

@@ -68,6 +68,12 @@ struct BrokerInner {
     services: HashMap<String, Service>,
     published: u64,
     delivered: u64,
+    /// Fault injection: while `true` the broker is dark — every uplink
+    /// frame and server-side publish is dropped on the floor (clients
+    /// see request timeouts, subscribers see silence).
+    outage: bool,
+    /// Frames/publishes discarded during outages.
+    dropped: u64,
 }
 
 /// The event broker living on the fixed side of the cellular network.
@@ -90,6 +96,8 @@ impl EventBroker {
                 services: HashMap::new(),
                 published: 0,
                 delivered: 0,
+                outage: false,
+                dropped: 0,
             })),
         };
         let b = broker.clone();
@@ -114,11 +122,33 @@ impl EventBroker {
             .insert(topic.into(), Rc::new(f));
     }
 
+    /// Fault injection: turns the broker dark (`true`) or back on
+    /// (`false`). A dark broker drops every uplink frame and every
+    /// server-side publish; subscriptions and registered services
+    /// survive the outage and resume working once restored.
+    pub fn set_outage(&self, dark: bool) {
+        self.inner.borrow_mut().outage = dark;
+    }
+
+    /// Whether the broker is currently dark.
+    pub fn is_in_outage(&self) -> bool {
+        self.inner.borrow().outage
+    }
+
+    /// Frames and publishes discarded during outages so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
     /// Publishes an event from the fixed side (e.g. infrastructure pushes)
     /// to all subscribers of its topic.
     pub fn publish_from_server(&self, event: EventNotification) {
         let subscribers: Vec<(NodeId, SubId)> = {
             let mut inner = self.inner.borrow_mut();
+            if inner.outage {
+                inner.dropped += 1;
+                return;
+            }
             inner.published += 1;
             inner
                 .subs
@@ -153,6 +183,13 @@ impl EventBroker {
     }
 
     fn handle(&self, from: NodeId, frame: Frame) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.outage {
+                inner.dropped += 1;
+                return;
+            }
+        }
         match frame {
             Frame::Publish { event } => self.publish_from_server(event),
             Frame::Subscribe { topic, sub } => {

@@ -8,7 +8,7 @@
 
 use simkit::{Sim, SimTime};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -127,6 +127,9 @@ impl Mobility {
 struct Inner {
     sim: Sim,
     nodes: BTreeMap<NodeId, Mobility>,
+    /// Nodes whose radios are dead (churn/partition fault injection):
+    /// they keep a position but drop out of every topology answer.
+    down: BTreeSet<NodeId>,
     next_id: u32,
 }
 
@@ -154,6 +157,7 @@ impl World {
             inner: Rc::new(RefCell::new(Inner {
                 sim: sim.clone(),
                 nodes: BTreeMap::new(),
+                down: BTreeSet::new(),
                 next_id: 0,
             })),
         }
@@ -206,9 +210,41 @@ impl World {
         Some(self.position_of(a)?.distance_to(self.position_of(b)?))
     }
 
-    /// Whether two distinct registered nodes are within `range` metres.
+    /// Whether two distinct registered nodes are within `range` metres
+    /// *and* both up (see [`World::set_node_up`]).
     pub fn in_range(&self, a: NodeId, b: NodeId, range: f64) -> bool {
-        a != b && self.distance(a, b).is_some_and(|d| d <= range)
+        a != b
+            && self.is_node_up(a)
+            && self.is_node_up(b)
+            && self.distance(a, b).is_some_and(|d| d <= range)
+    }
+
+    /// Marks a node's radio dead or alive (fault injection: churn, crash,
+    /// partition). A down node keeps its position and mobility but stops
+    /// appearing in [`World::neighbors`], [`World::in_range`] and
+    /// [`World::nodes_in_region`]. Nodes start up; unknown ids are a
+    /// no-op.
+    pub fn set_node_up(&self, node: NodeId, up: bool) {
+        let mut inner = self.inner.borrow_mut();
+        if up {
+            inner.down.remove(&node);
+        } else if inner.nodes.contains_key(&node) {
+            inner.down.insert(node);
+        }
+    }
+
+    /// Whether the node's radio is alive (unknown nodes report `false`).
+    pub fn is_node_up(&self, node: NodeId) -> bool {
+        let inner = self.inner.borrow();
+        inner.nodes.contains_key(&node) && !inner.down.contains(&node)
+    }
+
+    /// Partitions the world: every node in `nodes` goes down at once
+    /// (convenience for scripted partitions).
+    pub fn partition_down(&self, nodes: &[NodeId]) {
+        for &n in nodes {
+            self.set_node_up(n, false);
+        }
     }
 
     /// All registered nodes.
@@ -216,8 +252,12 @@ impl World {
         self.inner.borrow().nodes.keys().copied().collect()
     }
 
-    /// All nodes other than `of` within `range` metres of it.
+    /// All *up* nodes other than `of` within `range` metres of it.
+    /// A down `of` has no neighbors at all.
     pub fn neighbors(&self, of: NodeId, range: f64) -> Vec<NodeId> {
+        if !self.is_node_up(of) {
+            return Vec::new();
+        }
         let Some(origin) = self.position_of(of) else {
             return Vec::new();
         };
@@ -226,19 +266,23 @@ impl World {
         inner
             .nodes
             .iter()
-            .filter(|&(&id, m)| id != of && m.position_at(now).distance_to(origin) <= range)
+            .filter(|&(&id, m)| {
+                id != of
+                    && !inner.down.contains(&id)
+                    && m.position_at(now).distance_to(origin) <= range
+            })
             .map(|(&id, _)| id)
             .collect()
     }
 
-    /// Nodes currently inside a region.
+    /// Up nodes currently inside a region.
     pub fn nodes_in_region(&self, region: Region) -> Vec<NodeId> {
         let inner = self.inner.borrow();
         let now = inner.sim.now();
         inner
             .nodes
             .iter()
-            .filter(|&(_, m)| region.contains(m.position_at(now)))
+            .filter(|&(&id, m)| !inner.down.contains(&id) && region.contains(m.position_at(now)))
             .map(|(&id, _)| id)
             .collect()
     }
@@ -329,6 +373,53 @@ mod tests {
             (SimTime::from_secs(5), Position::ORIGIN),
             (SimTime::from_secs(1), Position::ORIGIN),
         ]);
+    }
+
+    #[test]
+    fn down_nodes_leave_the_topology() {
+        let sim = Sim::new();
+        let w = World::new(&sim);
+        let a = w.add_node(Position::ORIGIN);
+        let b = w.add_node(Position::new(3.0, 4.0));
+        let c = w.add_node(Position::new(0.0, 1.0));
+        assert!(w.is_node_up(b));
+        w.set_node_up(b, false);
+        assert!(!w.is_node_up(b));
+        assert!(!w.in_range(a, b, 100.0));
+        assert_eq!(w.neighbors(a, 100.0), vec![c]);
+        assert_eq!(
+            w.nodes_in_region(Region::new(Position::ORIGIN, 100.0)),
+            vec![a, c]
+        );
+        // Position survives the outage; distance still answers.
+        assert_eq!(w.distance(a, b), Some(5.0));
+        w.set_node_up(b, true);
+        assert_eq!(w.neighbors(a, 100.0), vec![b, c]);
+    }
+
+    #[test]
+    fn down_origin_has_no_neighbors() {
+        let sim = Sim::new();
+        let w = World::new(&sim);
+        let a = w.add_node(Position::ORIGIN);
+        let _b = w.add_node(Position::new(1.0, 0.0));
+        w.set_node_up(a, false);
+        assert!(w.neighbors(a, 10.0).is_empty());
+    }
+
+    #[test]
+    fn partition_and_unknown_nodes() {
+        let sim = Sim::new();
+        let w = World::new(&sim);
+        let a = w.add_node(Position::ORIGIN);
+        let b = w.add_node(Position::new(1.0, 0.0));
+        w.partition_down(&[a, b]);
+        assert!(!w.is_node_up(a) && !w.is_node_up(b));
+        // Unknown ids: no-op / false.
+        w.set_node_up(NodeId(77), false);
+        assert!(!w.is_node_up(NodeId(77)));
+        w.set_node_up(a, true);
+        assert!(w.is_node_up(a));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::env::{EnvField, Environment};
 use radio::Position;
 use simkit::{DetRng, SimTime};
+use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
 
@@ -66,6 +67,9 @@ pub struct EnvSensor {
     position: PositionSource,
     accuracy: f64,
     rng: DetRng,
+    /// Shared dropout switch (fault injection): when `false`, the sensor
+    /// is dead and [`EnvSensor::try_sample`] yields nothing.
+    online: Rc<Cell<bool>>,
 }
 
 impl EnvSensor {
@@ -88,6 +92,7 @@ impl EnvSensor {
             position,
             accuracy,
             rng: DetRng::new(seed ^ 0x5e45),
+            online: Rc::new(Cell::new(true)),
         }
     }
 
@@ -105,6 +110,36 @@ impl EnvSensor {
     /// The measured field.
     pub fn field(&self) -> EnvField {
         self.field
+    }
+
+    /// Whether the sensor is currently delivering readings.
+    pub fn is_online(&self) -> bool {
+        self.online.get()
+    }
+
+    /// Flips the dropout switch (fault injection). An offline sensor
+    /// keeps its state and noise stream; only delivery stops.
+    pub fn set_online(&self, up: bool) {
+        self.online.set(up);
+    }
+
+    /// The shared dropout switch, for wiring into a fault injector while
+    /// the sensor itself is owned elsewhere.
+    pub fn online_switch(&self) -> Rc<Cell<bool>> {
+        self.online.clone()
+    }
+
+    /// Fault-aware sampling: `None` while the sensor is offline.
+    ///
+    /// The underlying noise stream does *not* advance while offline, so
+    /// an outage window shifts — but never reshapes — the reading
+    /// sequence, keeping scenarios deterministic.
+    pub fn try_sample(&mut self, now: SimTime) -> Option<Reading> {
+        if self.online.get() {
+            Some(self.sample(now))
+        } else {
+            None
+        }
     }
 
     /// Takes a reading at `now`: ground truth plus Gaussian noise at the
@@ -180,9 +215,31 @@ impl WeatherStation {
         self.position
     }
 
-    /// Takes one reading per configured field.
+    /// Takes one reading per configured *online* field (offline sensors
+    /// are skipped — see [`WeatherStation::set_field_online`]).
     pub fn observe(&mut self, now: SimTime) -> Vec<Reading> {
-        self.sensors.iter_mut().map(|s| s.sample(now)).collect()
+        self.sensors
+            .iter_mut()
+            .filter_map(|s| s.try_sample(now))
+            .collect()
+    }
+
+    /// Flips the dropout switch of one field's sensor (fault injection).
+    /// Unknown fields are a no-op.
+    pub fn set_field_online(&self, field: EnvField, up: bool) {
+        for s in &self.sensors {
+            if s.field() == field {
+                s.set_online(up);
+            }
+        }
+    }
+
+    /// Flips the dropout switch of *every* sensor at once (a station
+    /// power failure).
+    pub fn set_online(&self, up: bool) {
+        for s in &self.sensors {
+            s.set_online(up);
+        }
     }
 }
 
@@ -282,6 +339,45 @@ mod tests {
         assert!(obs.iter().all(|r| r.position == Some(st.position())));
         let quantities: Vec<&str> = obs.iter().map(|r| r.quantity.as_str()).collect();
         assert_eq!(quantities, vec!["temperature", "wind", "pressure"]);
+    }
+
+    #[test]
+    fn dropout_stops_and_resumes_delivery() {
+        let env = Environment::new(11);
+        let mut s = EnvSensor::fixed(&env, EnvField::TemperatureC, Position::ORIGIN, 0.2, 3);
+        let t = SimTime::from_secs(10);
+        assert!(s.is_online());
+        assert!(s.try_sample(t).is_some());
+        let switch = s.online_switch();
+        switch.set(false);
+        assert!(!s.is_online());
+        assert!(s.try_sample(t).is_none());
+        // The noise stream did not advance while offline: the next
+        // reading equals what a never-offline twin would produce.
+        let mut twin = EnvSensor::fixed(&env, EnvField::TemperatureC, Position::ORIGIN, 0.2, 3);
+        let _ = twin.sample(t); // mirror the one pre-outage sample
+        switch.set(true);
+        assert_eq!(s.try_sample(t).unwrap().value, twin.sample(t).value);
+    }
+
+    #[test]
+    fn station_dropout_skips_fields() {
+        let env = Environment::new(11);
+        let mut st = WeatherStation::new(
+            "fmi-harmaja",
+            &env,
+            Position::ORIGIN,
+            &[EnvField::TemperatureC, EnvField::WindKnots],
+            9,
+        );
+        st.set_field_online(EnvField::WindKnots, false);
+        let obs = st.observe(SimTime::from_secs(60));
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].quantity, "temperature");
+        st.set_online(false);
+        assert!(st.observe(SimTime::from_secs(61)).is_empty());
+        st.set_online(true);
+        assert_eq!(st.observe(SimTime::from_secs(62)).len(), 2);
     }
 
     #[test]

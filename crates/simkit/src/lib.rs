@@ -22,6 +22,10 @@
 //!   paper reports next to every measurement.
 //! - [`trace::TimeSeries`]: step-function time series used for power traces
 //!   (paper Figs. 4 and 5), with integration and ASCII rendering.
+//! - [`faults`]: deterministic fault injection — scripted
+//!   [`FaultPlan`]s compiled to up/down edges and applied to registered
+//!   kill-switches by a [`FaultInjector`] (paper Fig. 5's source
+//!   failures, made reproducible).
 //!
 //! # Example
 //!
@@ -42,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 mod rng;
 mod sim;
 pub mod stats;
 mod time;
 pub mod trace;
 
+pub use faults::{FaultInjector, FaultPlan};
 pub use rng::DetRng;
 pub use sim::{Sim, TimerId};
 pub use time::{SimDuration, SimTime};

@@ -1,15 +1,28 @@
 //! Deterministic random source.
 //!
 //! [`DetRng`] wraps a seeded PRNG and exposes exactly the distributions the
-//! substrates need, so downstream crates never touch `rand` traits directly
+//! substrates need, so downstream crates never touch raw generator state
 //! and every scenario is reproducible from a single `u64` seed.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through
+//! SplitMix64 — no external dependency, identical streams on every
+//! platform, which is what keeps the benchmark tables reproducible in
+//! hermetic (offline) builds.
 
 use crate::time::SimDuration;
 
-/// A deterministic random number generator.
+/// SplitMix64 step; used for seeding so that nearby seeds (0, 1, 2, …)
+/// still yield well-separated xoshiro states.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random number generator (xoshiro256++).
 ///
 /// ```
 /// use simkit::DetRng;
@@ -19,15 +32,20 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Clone, Debug)]
 pub struct DetRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a seed. Equal seeds yield equal streams.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
     }
 
     /// Derives an independent child generator; used to give each node its
@@ -39,12 +57,24 @@ impl DetRng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high-quality bits into the mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -54,7 +84,7 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "range_f64 requires lo < hi");
-        self.inner.random_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -64,7 +94,13 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "range_u64 requires lo < hi");
-        self.inner.random_range(lo..hi)
+        let span = hi - lo;
+        // Multiply-shift bounded generation (Lemire, without the bias
+        // rejection loop: for simulation purposes the ≤2⁻⁶⁴·span bias is
+        // irrelevant, and staying loop-free keeps the stream advancing by
+        // exactly one draw per call — important for reproducibility).
+        let wide = (self.next_u64() as u128).wrapping_mul(span as u128);
+        lo + (wide >> 64) as u64
     }
 
     /// Uniform index in `[0, len)`, for picking an element of a slice.
@@ -74,7 +110,7 @@ impl DetRng {
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "index requires a non-empty range");
-        self.inner.random_range(0..len)
+        self.range_u64(0, len as u64) as usize
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).

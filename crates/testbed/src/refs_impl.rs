@@ -83,6 +83,32 @@ impl SimInternalReference {
             rng: RefCell::new(DetRng::new(seed ^ 0x1257)),
         }
     }
+
+    /// Flips the dropout switch of one sensor (fault injection). Unknown
+    /// types are a no-op. Returns whether a sensor was found.
+    pub fn set_sensor_online(&self, cxt_type: &str, up: bool) -> bool {
+        match self.sensors.borrow().get(cxt_type) {
+            Some(s) => {
+                s.set_online(up);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the named sensor exists and is online.
+    pub fn sensor_online(&self, cxt_type: &str) -> bool {
+        self.sensors
+            .borrow()
+            .get(cxt_type)
+            .is_some_and(|s| s.is_online())
+    }
+
+    /// Context types this reference has sensors for (fault wiring
+    /// enumerates them to register per-sensor dropout switches).
+    pub fn sensor_types(&self) -> Vec<String> {
+        self.sensors.borrow().keys().cloned().collect()
+    }
 }
 
 fn default_accuracy(field: EnvField) -> f64 {
@@ -120,9 +146,21 @@ impl InternalReference for SimInternalReference {
             .borrow_mut()
             .get_mut(cxt_type)
             .expect("checked provides")
-            .sample(self.sim.now());
-        let item = crate::convert::reading_to_item(&reading, &self.source);
-        self.sim.schedule_in(latency, move || cb(Ok(item)));
+            .try_sample(self.sim.now());
+        match reading {
+            Some(reading) => {
+                let item = crate::convert::reading_to_item(&reading, &self.source);
+                self.sim.schedule_in(latency, move || cb(Ok(item)));
+            }
+            None => {
+                // Dropped-out sensor (fault injection): the device is
+                // present but silent.
+                let what = cxt_type.to_owned();
+                self.sim.schedule_in(latency, move || {
+                    cb(Err(RefError::Unavailable(format!("sensor {what} offline"))))
+                });
+            }
+        }
     }
 }
 

@@ -19,7 +19,7 @@ use radio::cell::{CellModem, CellNetwork, CellParams};
 use radio::wifi::{WifiMedium, WifiParams, WifiRadio};
 use radio::{NodeId, Position, World};
 use sensors::{BtGpsDevice, EnvField, Environment, WeatherStation};
-use simkit::{Sim, SimDuration, SimTime};
+use simkit::{FaultInjector, FaultPlan, Sim, SimDuration, SimTime};
 use smartmsg::{SmNode, SmParams, SmPlatform};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -427,6 +427,73 @@ impl Testbed {
             interval,
             self.fresh_seed(),
         )
+    }
+
+    /// Wires the standard kill-switch targets into a [`FaultInjector`]
+    /// and installs the plan's schedule. Call after assembling the
+    /// devices the plan addresses. Target naming convention:
+    ///
+    /// | target                    | kill-switch                        |
+    /// |---------------------------|------------------------------------|
+    /// | `broker`                  | Fuego broker outage                |
+    /// | `bt:<phone>`              | Bluetooth radio power              |
+    /// | `wifi:<phone>`            | WiFi radio power                   |
+    /// | `cell:<phone>`            | cellular modem radio               |
+    /// | `node:<phone>`            | world-node churn (vanishes)        |
+    /// | `sensor:<phone>:<type>`   | integrated-sensor dropout          |
+    ///
+    /// Targets addressing hardware a device lacks are simply never
+    /// registered; the injector still logs their transitions.
+    pub fn install_faults(&self, plan: &FaultPlan) -> FaultInjector {
+        let injector = FaultInjector::new(&self.sim);
+        self.register_fault_targets(&injector);
+        injector.install(plan);
+        injector
+    }
+
+    /// Registers every device's kill-switches (and the broker's) on an
+    /// injector without installing a plan — for composing schedules
+    /// manually.
+    pub fn register_fault_targets(&self, injector: &FaultInjector) {
+        {
+            let broker = self.broker.clone();
+            injector.register("broker", move |up| broker.set_outage(!up));
+        }
+        for device in self.devices() {
+            let name = device.name().to_owned();
+            {
+                let bt = device.bt_radio.clone();
+                injector.register(format!("bt:{name}"), move |up| bt.set_power(up));
+            }
+            if let Some(wifi) = device.wifi_radio.clone() {
+                injector.register(format!("wifi:{name}"), move |up| {
+                    if up {
+                        wifi.power_on(|| {});
+                    } else {
+                        wifi.power_off();
+                    }
+                });
+            }
+            if let Some(modem) = device.modem.clone() {
+                injector.register(format!("cell:{name}"), move |up| modem.set_radio(up));
+            }
+            {
+                let world = self.world.clone();
+                let node = device.node;
+                injector.register(format!("node:{name}"), move |up| {
+                    world.set_node_up(node, up);
+                });
+            }
+            if let Some(internal) = device.internal_ref.clone() {
+                for cxt_type in internal.sensor_types() {
+                    let internal = internal.clone();
+                    let t = cxt_type.clone();
+                    injector.register(format!("sensor:{name}:{cxt_type}"), move |up| {
+                        internal.set_sensor_online(&t, up);
+                    });
+                }
+            }
+        }
     }
 
     /// Installs an "official" weather station feeding the infrastructure

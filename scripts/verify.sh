@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Repository verification: tier-1 gate plus the failure-scenario work.
+#
+#   ./scripts/verify.sh
+#
+# 1. tier-1: release build + the whole workspace test suite
+#    (unit + per-crate integration + cross-crate integration +
+#    property tests);
+# 2. the failure-scenario suite in isolation — every scenario runs
+#    across the three fixed seeds baked into the suite (11, 22, 33);
+# 3. the Fig. 5 failover bench, which asserts the recovery SLO
+#    (worst provisioning gap <= 45 s) from the FailoverReport.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q (full workspace)"
+cargo test -q
+
+echo "==> failure-scenario suite (seeds 11, 22, 33)"
+cargo test -q --test failover_scenarios
+
+echo "==> property tests (incl. fault/failover properties)"
+cargo test -q --test proptests
+
+echo "==> Fig. 5 failover bench (recovery SLO)"
+cargo run -q --release -p contory-bench --bin fig5_failover
+
+echo "==> verify: OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_discovery_cache-28ac89435e5ee6a8.d: crates/bench/src/bin/ablation_discovery_cache.rs
+
+/root/repo/target/debug/deps/ablation_discovery_cache-28ac89435e5ee6a8: crates/bench/src/bin/ablation_discovery_cache.rs
+
+crates/bench/src/bin/ablation_discovery_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_discovery_cache-e719a34d2b2a1a45.d: crates/bench/src/bin/ablation_discovery_cache.rs
+
+/root/repo/target/debug/deps/ablation_discovery_cache-e719a34d2b2a1a45: crates/bench/src/bin/ablation_discovery_cache.rs
+
+crates/bench/src/bin/ablation_discovery_cache.rs:

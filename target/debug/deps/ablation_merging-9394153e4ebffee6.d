@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merging-9394153e4ebffee6.d: crates/bench/src/bin/ablation_merging.rs
+
+/root/repo/target/debug/deps/ablation_merging-9394153e4ebffee6: crates/bench/src/bin/ablation_merging.rs
+
+crates/bench/src/bin/ablation_merging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merging-e10849c715665008.d: crates/bench/src/bin/ablation_merging.rs
+
+/root/repo/target/debug/deps/ablation_merging-e10849c715665008: crates/bench/src/bin/ablation_merging.rs
+
+crates/bench/src/bin/ablation_merging.rs:

@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/contory-a074c9ddc8702849.d: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/aggregator.rs crates/core/src/backoff.rs crates/core/src/client.rs crates/core/src/error.rs crates/core/src/facade.rs crates/core/src/factory.rs crates/core/src/failover.rs crates/core/src/item.rs crates/core/src/manager.rs crates/core/src/merge.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/predicate.rs crates/core/src/providers/mod.rs crates/core/src/providers/adhoc.rs crates/core/src/providers/infra.rs crates/core/src/providers/local.rs crates/core/src/publisher.rs crates/core/src/query/mod.rs crates/core/src/query/ast.rs crates/core/src/query/builder.rs crates/core/src/query/lexer.rs crates/core/src/query/parser.rs crates/core/src/refs.rs crates/core/src/repository.rs crates/core/src/vocab.rs
+
+/root/repo/target/debug/deps/contory-a074c9ddc8702849: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/aggregator.rs crates/core/src/backoff.rs crates/core/src/client.rs crates/core/src/error.rs crates/core/src/facade.rs crates/core/src/factory.rs crates/core/src/failover.rs crates/core/src/item.rs crates/core/src/manager.rs crates/core/src/merge.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/predicate.rs crates/core/src/providers/mod.rs crates/core/src/providers/adhoc.rs crates/core/src/providers/infra.rs crates/core/src/providers/local.rs crates/core/src/publisher.rs crates/core/src/query/mod.rs crates/core/src/query/ast.rs crates/core/src/query/builder.rs crates/core/src/query/lexer.rs crates/core/src/query/parser.rs crates/core/src/refs.rs crates/core/src/repository.rs crates/core/src/vocab.rs
+
+crates/core/src/lib.rs:
+crates/core/src/access.rs:
+crates/core/src/aggregator.rs:
+crates/core/src/backoff.rs:
+crates/core/src/client.rs:
+crates/core/src/error.rs:
+crates/core/src/facade.rs:
+crates/core/src/factory.rs:
+crates/core/src/failover.rs:
+crates/core/src/item.rs:
+crates/core/src/manager.rs:
+crates/core/src/merge.rs:
+crates/core/src/monitor.rs:
+crates/core/src/policy.rs:
+crates/core/src/predicate.rs:
+crates/core/src/providers/mod.rs:
+crates/core/src/providers/adhoc.rs:
+crates/core/src/providers/infra.rs:
+crates/core/src/providers/local.rs:
+crates/core/src/publisher.rs:
+crates/core/src/query/mod.rs:
+crates/core/src/query/ast.rs:
+crates/core/src/query/builder.rs:
+crates/core/src/query/lexer.rs:
+crates/core/src/query/parser.rs:
+crates/core/src/refs.rs:
+crates/core/src/repository.rs:
+crates/core/src/vocab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contory_bench-1ec813bb7feacfc9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/contory_bench-1ec813bb7feacfc9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

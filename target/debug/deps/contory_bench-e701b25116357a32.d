@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/contory_bench-e701b25116357a32.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcontory_bench-e701b25116357a32.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcontory_bench-e701b25116357a32.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

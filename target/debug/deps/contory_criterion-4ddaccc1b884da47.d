@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contory_criterion-4ddaccc1b884da47.d: crates/crit/src/lib.rs
+
+/root/repo/target/debug/deps/contory_criterion-4ddaccc1b884da47: crates/crit/src/lib.rs
+
+crates/crit/src/lib.rs:

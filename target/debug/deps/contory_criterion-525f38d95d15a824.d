@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/contory_criterion-525f38d95d15a824.d: crates/crit/src/lib.rs
+
+/root/repo/target/debug/deps/libcontory_criterion-525f38d95d15a824.rlib: crates/crit/src/lib.rs
+
+/root/repo/target/debug/deps/libcontory_criterion-525f38d95d15a824.rmeta: crates/crit/src/lib.rs
+
+crates/crit/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contory_propcheck-7a521a896db241b1.d: crates/propcheck/src/lib.rs
+
+/root/repo/target/debug/deps/contory_propcheck-7a521a896db241b1: crates/propcheck/src/lib.rs
+
+crates/propcheck/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/contory_propcheck-7f82bbfa1a3dc6e0.d: crates/propcheck/src/lib.rs
+
+/root/repo/target/debug/deps/libcontory_propcheck-7f82bbfa1a3dc6e0.rlib: crates/propcheck/src/lib.rs
+
+/root/repo/target/debug/deps/libcontory_propcheck-7f82bbfa1a3dc6e0.rmeta: crates/propcheck/src/lib.rs
+
+crates/propcheck/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contory_repro-43ecfcff44761924.d: src/lib.rs
+
+/root/repo/target/debug/deps/contory_repro-43ecfcff44761924: src/lib.rs
+
+src/lib.rs:

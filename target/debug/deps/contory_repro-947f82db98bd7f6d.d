@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/contory_repro-947f82db98bd7f6d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcontory_repro-947f82db98bd7f6d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcontory_repro-947f82db98bd7f6d.rmeta: src/lib.rs
+
+src/lib.rs:

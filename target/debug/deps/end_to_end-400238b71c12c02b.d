@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-400238b71c12c02b.d: crates/fuego/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-400238b71c12c02b: crates/fuego/tests/end_to_end.rs
+
+crates/fuego/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-558f086c52f0d669.d: crates/testbed/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-558f086c52f0d669: crates/testbed/tests/end_to_end.rs
+
+crates/testbed/tests/end_to_end.rs:

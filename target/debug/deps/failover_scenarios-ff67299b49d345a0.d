@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover_scenarios-ff67299b49d345a0.d: tests/failover_scenarios.rs
+
+/root/repo/target/debug/deps/failover_scenarios-ff67299b49d345a0: tests/failover_scenarios.rs
+
+tests/failover_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_power_trace-e5e4cb0d87ea4864.d: crates/bench/src/bin/fig4_power_trace.rs
+
+/root/repo/target/debug/deps/fig4_power_trace-e5e4cb0d87ea4864: crates/bench/src/bin/fig4_power_trace.rs
+
+crates/bench/src/bin/fig4_power_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_power_trace-fc85bdbbc899cc23.d: crates/bench/src/bin/fig4_power_trace.rs
+
+/root/repo/target/debug/deps/fig4_power_trace-fc85bdbbc899cc23: crates/bench/src/bin/fig4_power_trace.rs
+
+crates/bench/src/bin/fig4_power_trace.rs:

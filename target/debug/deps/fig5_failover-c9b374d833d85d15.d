@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_failover-c9b374d833d85d15.d: crates/bench/src/bin/fig5_failover.rs
+
+/root/repo/target/debug/deps/fig5_failover-c9b374d833d85d15: crates/bench/src/bin/fig5_failover.rs
+
+crates/bench/src/bin/fig5_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_failover-e840a7170d59e7b4.d: crates/bench/src/bin/fig5_failover.rs
+
+/root/repo/target/debug/deps/fig5_failover-e840a7170d59e7b4: crates/bench/src/bin/fig5_failover.rs
+
+crates/bench/src/bin/fig5_failover.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fuego-7e69987da54604a6.d: crates/fuego/src/lib.rs crates/fuego/src/broker.rs crates/fuego/src/client.rs crates/fuego/src/event.rs crates/fuego/src/infra.rs crates/fuego/src/xml.rs
+
+/root/repo/target/debug/deps/fuego-7e69987da54604a6: crates/fuego/src/lib.rs crates/fuego/src/broker.rs crates/fuego/src/client.rs crates/fuego/src/event.rs crates/fuego/src/infra.rs crates/fuego/src/xml.rs
+
+crates/fuego/src/lib.rs:
+crates/fuego/src/broker.rs:
+crates/fuego/src/client.rs:
+crates/fuego/src/event.rs:
+crates/fuego/src/infra.rs:
+crates/fuego/src/xml.rs:

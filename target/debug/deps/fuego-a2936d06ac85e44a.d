@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fuego-a2936d06ac85e44a.d: crates/fuego/src/lib.rs crates/fuego/src/broker.rs crates/fuego/src/client.rs crates/fuego/src/event.rs crates/fuego/src/infra.rs crates/fuego/src/xml.rs
+
+/root/repo/target/debug/deps/libfuego-a2936d06ac85e44a.rlib: crates/fuego/src/lib.rs crates/fuego/src/broker.rs crates/fuego/src/client.rs crates/fuego/src/event.rs crates/fuego/src/infra.rs crates/fuego/src/xml.rs
+
+/root/repo/target/debug/deps/libfuego-a2936d06ac85e44a.rmeta: crates/fuego/src/lib.rs crates/fuego/src/broker.rs crates/fuego/src/client.rs crates/fuego/src/event.rs crates/fuego/src/infra.rs crates/fuego/src/xml.rs
+
+crates/fuego/src/lib.rs:
+crates/fuego/src/broker.rs:
+crates/fuego/src/client.rs:
+crates/fuego/src/event.rs:
+crates/fuego/src/infra.rs:
+crates/fuego/src/xml.rs:

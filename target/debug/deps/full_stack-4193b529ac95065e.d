@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-4193b529ac95065e.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-4193b529ac95065e: tests/full_stack.rs
+
+tests/full_stack.rs:

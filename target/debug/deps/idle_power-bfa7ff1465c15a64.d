@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idle_power-bfa7ff1465c15a64.d: crates/bench/src/bin/idle_power.rs
+
+/root/repo/target/debug/deps/idle_power-bfa7ff1465c15a64: crates/bench/src/bin/idle_power.rs
+
+crates/bench/src/bin/idle_power.rs:

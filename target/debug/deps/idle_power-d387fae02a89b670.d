@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idle_power-d387fae02a89b670.d: crates/bench/src/bin/idle_power.rs
+
+/root/repo/target/debug/deps/idle_power-d387fae02a89b670: crates/bench/src/bin/idle_power.rs
+
+crates/bench/src/bin/idle_power.rs:

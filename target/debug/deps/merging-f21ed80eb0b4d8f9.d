@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/merging-f21ed80eb0b4d8f9.d: crates/bench/benches/merging.rs
+
+/root/repo/target/debug/deps/merging-f21ed80eb0b4d8f9: crates/bench/benches/merging.rs
+
+crates/bench/benches/merging.rs:

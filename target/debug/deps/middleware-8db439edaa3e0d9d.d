@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/middleware-8db439edaa3e0d9d.d: crates/core/tests/middleware.rs
+
+/root/repo/target/debug/deps/middleware-8db439edaa3e0d9d: crates/core/tests/middleware.rs
+
+crates/core/tests/middleware.rs:

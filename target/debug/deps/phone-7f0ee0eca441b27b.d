@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/phone-7f0ee0eca441b27b.d: crates/phone/src/lib.rs crates/phone/src/battery.rs crates/phone/src/device.rs crates/phone/src/memory.rs crates/phone/src/meter.rs crates/phone/src/power.rs crates/phone/src/profiles.rs crates/phone/src/units.rs
+
+/root/repo/target/debug/deps/libphone-7f0ee0eca441b27b.rlib: crates/phone/src/lib.rs crates/phone/src/battery.rs crates/phone/src/device.rs crates/phone/src/memory.rs crates/phone/src/meter.rs crates/phone/src/power.rs crates/phone/src/profiles.rs crates/phone/src/units.rs
+
+/root/repo/target/debug/deps/libphone-7f0ee0eca441b27b.rmeta: crates/phone/src/lib.rs crates/phone/src/battery.rs crates/phone/src/device.rs crates/phone/src/memory.rs crates/phone/src/meter.rs crates/phone/src/power.rs crates/phone/src/profiles.rs crates/phone/src/units.rs
+
+crates/phone/src/lib.rs:
+crates/phone/src/battery.rs:
+crates/phone/src/device.rs:
+crates/phone/src/memory.rs:
+crates/phone/src/meter.rs:
+crates/phone/src/power.rs:
+crates/phone/src/profiles.rs:
+crates/phone/src/units.rs:

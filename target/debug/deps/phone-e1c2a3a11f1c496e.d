@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/phone-e1c2a3a11f1c496e.d: crates/phone/src/lib.rs crates/phone/src/battery.rs crates/phone/src/device.rs crates/phone/src/memory.rs crates/phone/src/meter.rs crates/phone/src/power.rs crates/phone/src/profiles.rs crates/phone/src/units.rs
+
+/root/repo/target/debug/deps/phone-e1c2a3a11f1c496e: crates/phone/src/lib.rs crates/phone/src/battery.rs crates/phone/src/device.rs crates/phone/src/memory.rs crates/phone/src/meter.rs crates/phone/src/power.rs crates/phone/src/profiles.rs crates/phone/src/units.rs
+
+crates/phone/src/lib.rs:
+crates/phone/src/battery.rs:
+crates/phone/src/device.rs:
+crates/phone/src/memory.rs:
+crates/phone/src/meter.rs:
+crates/phone/src/power.rs:
+crates/phone/src/profiles.rs:
+crates/phone/src/units.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platform-edbfe002c9a562de.d: crates/smartmsg/tests/platform.rs
+
+/root/repo/target/debug/deps/platform-edbfe002c9a562de: crates/smartmsg/tests/platform.rs
+
+crates/smartmsg/tests/platform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ae619a29d8598e27.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ae619a29d8598e27: tests/proptests.rs
+
+tests/proptests.rs:

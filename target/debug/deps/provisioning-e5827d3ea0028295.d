@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/provisioning-e5827d3ea0028295.d: crates/bench/benches/provisioning.rs
+
+/root/repo/target/debug/deps/provisioning-e5827d3ea0028295: crates/bench/benches/provisioning.rs
+
+crates/bench/benches/provisioning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_language-5f7264e46fc1deb4.d: crates/bench/benches/query_language.rs
+
+/root/repo/target/debug/deps/query_language-5f7264e46fc1deb4: crates/bench/benches/query_language.rs
+
+crates/bench/benches/query_language.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/radio-339ffaed308ec2a6.d: crates/radio/src/lib.rs crates/radio/src/bt.rs crates/radio/src/cell.rs crates/radio/src/wifi.rs crates/radio/src/world.rs
+
+/root/repo/target/debug/deps/libradio-339ffaed308ec2a6.rlib: crates/radio/src/lib.rs crates/radio/src/bt.rs crates/radio/src/cell.rs crates/radio/src/wifi.rs crates/radio/src/world.rs
+
+/root/repo/target/debug/deps/libradio-339ffaed308ec2a6.rmeta: crates/radio/src/lib.rs crates/radio/src/bt.rs crates/radio/src/cell.rs crates/radio/src/wifi.rs crates/radio/src/world.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/bt.rs:
+crates/radio/src/cell.rs:
+crates/radio/src/wifi.rs:
+crates/radio/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/radio-5fa925d17f4afe6b.d: crates/radio/src/lib.rs crates/radio/src/bt.rs crates/radio/src/cell.rs crates/radio/src/wifi.rs crates/radio/src/world.rs
+
+/root/repo/target/debug/deps/radio-5fa925d17f4afe6b: crates/radio/src/lib.rs crates/radio/src/bt.rs crates/radio/src/cell.rs crates/radio/src/wifi.rs crates/radio/src/world.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/bt.rs:
+crates/radio/src/cell.rs:
+crates/radio/src/wifi.rs:
+crates/radio/src/world.rs:

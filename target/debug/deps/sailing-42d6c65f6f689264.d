@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sailing-42d6c65f6f689264.d: crates/sailing/src/lib.rs crates/sailing/src/regatta.rs crates/sailing/src/scenario.rs crates/sailing/src/weather.rs
+
+/root/repo/target/debug/deps/libsailing-42d6c65f6f689264.rlib: crates/sailing/src/lib.rs crates/sailing/src/regatta.rs crates/sailing/src/scenario.rs crates/sailing/src/weather.rs
+
+/root/repo/target/debug/deps/libsailing-42d6c65f6f689264.rmeta: crates/sailing/src/lib.rs crates/sailing/src/regatta.rs crates/sailing/src/scenario.rs crates/sailing/src/weather.rs
+
+crates/sailing/src/lib.rs:
+crates/sailing/src/regatta.rs:
+crates/sailing/src/scenario.rs:
+crates/sailing/src/weather.rs:

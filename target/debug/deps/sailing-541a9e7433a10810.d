@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sailing-541a9e7433a10810.d: crates/sailing/src/lib.rs crates/sailing/src/regatta.rs crates/sailing/src/scenario.rs crates/sailing/src/weather.rs
+
+/root/repo/target/debug/deps/sailing-541a9e7433a10810: crates/sailing/src/lib.rs crates/sailing/src/regatta.rs crates/sailing/src/scenario.rs crates/sailing/src/weather.rs
+
+crates/sailing/src/lib.rs:
+crates/sailing/src/regatta.rs:
+crates/sailing/src/scenario.rs:
+crates/sailing/src/weather.rs:

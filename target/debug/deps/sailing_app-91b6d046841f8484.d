@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sailing_app-91b6d046841f8484.d: crates/sailing/tests/sailing_app.rs
+
+/root/repo/target/debug/deps/sailing_app-91b6d046841f8484: crates/sailing/tests/sailing_app.rs
+
+crates/sailing/tests/sailing_app.rs:

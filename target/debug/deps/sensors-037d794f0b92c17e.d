@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sensors-037d794f0b92c17e.d: crates/sensors/src/lib.rs crates/sensors/src/btgps.rs crates/sensors/src/env.rs crates/sensors/src/gps.rs crates/sensors/src/sensor.rs
+
+/root/repo/target/debug/deps/libsensors-037d794f0b92c17e.rlib: crates/sensors/src/lib.rs crates/sensors/src/btgps.rs crates/sensors/src/env.rs crates/sensors/src/gps.rs crates/sensors/src/sensor.rs
+
+/root/repo/target/debug/deps/libsensors-037d794f0b92c17e.rmeta: crates/sensors/src/lib.rs crates/sensors/src/btgps.rs crates/sensors/src/env.rs crates/sensors/src/gps.rs crates/sensors/src/sensor.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/btgps.rs:
+crates/sensors/src/env.rs:
+crates/sensors/src/gps.rs:
+crates/sensors/src/sensor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensors-12039147d8fa0f40.d: crates/sensors/src/lib.rs crates/sensors/src/btgps.rs crates/sensors/src/env.rs crates/sensors/src/gps.rs crates/sensors/src/sensor.rs
+
+/root/repo/target/debug/deps/sensors-12039147d8fa0f40: crates/sensors/src/lib.rs crates/sensors/src/btgps.rs crates/sensors/src/env.rs crates/sensors/src/gps.rs crates/sensors/src/sensor.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/btgps.rs:
+crates/sensors/src/env.rs:
+crates/sensors/src/gps.rs:
+crates/sensors/src/sensor.rs:

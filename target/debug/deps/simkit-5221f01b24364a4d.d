@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simkit-5221f01b24364a4d.d: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/sim.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+
+/root/repo/target/debug/deps/libsimkit-5221f01b24364a4d.rlib: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/sim.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+
+/root/repo/target/debug/deps/libsimkit-5221f01b24364a4d.rmeta: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/sim.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/faults.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/sim.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simkit-762717b0ba8c5df4.d: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/sim.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+
+/root/repo/target/debug/deps/simkit-762717b0ba8c5df4: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/sim.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/faults.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/sim.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sm_breakup-9ed92710c4749d79.d: crates/bench/src/bin/sm_breakup.rs
+
+/root/repo/target/debug/deps/sm_breakup-9ed92710c4749d79: crates/bench/src/bin/sm_breakup.rs
+
+crates/bench/src/bin/sm_breakup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sm_breakup-b41b8e5ef9d6a93e.d: crates/bench/src/bin/sm_breakup.rs
+
+/root/repo/target/debug/deps/sm_breakup-b41b8e5ef9d6a93e: crates/bench/src/bin/sm_breakup.rs
+
+crates/bench/src/bin/sm_breakup.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/smartmsg-2134a9dca9c15244.d: crates/smartmsg/src/lib.rs crates/smartmsg/src/finder.rs crates/smartmsg/src/program.rs crates/smartmsg/src/runtime.rs crates/smartmsg/src/tag.rs
+
+/root/repo/target/debug/deps/libsmartmsg-2134a9dca9c15244.rlib: crates/smartmsg/src/lib.rs crates/smartmsg/src/finder.rs crates/smartmsg/src/program.rs crates/smartmsg/src/runtime.rs crates/smartmsg/src/tag.rs
+
+/root/repo/target/debug/deps/libsmartmsg-2134a9dca9c15244.rmeta: crates/smartmsg/src/lib.rs crates/smartmsg/src/finder.rs crates/smartmsg/src/program.rs crates/smartmsg/src/runtime.rs crates/smartmsg/src/tag.rs
+
+crates/smartmsg/src/lib.rs:
+crates/smartmsg/src/finder.rs:
+crates/smartmsg/src/program.rs:
+crates/smartmsg/src/runtime.rs:
+crates/smartmsg/src/tag.rs:

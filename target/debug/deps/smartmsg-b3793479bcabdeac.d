@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smartmsg-b3793479bcabdeac.d: crates/smartmsg/src/lib.rs crates/smartmsg/src/finder.rs crates/smartmsg/src/program.rs crates/smartmsg/src/runtime.rs crates/smartmsg/src/tag.rs
+
+/root/repo/target/debug/deps/smartmsg-b3793479bcabdeac: crates/smartmsg/src/lib.rs crates/smartmsg/src/finder.rs crates/smartmsg/src/program.rs crates/smartmsg/src/runtime.rs crates/smartmsg/src/tag.rs
+
+crates/smartmsg/src/lib.rs:
+crates/smartmsg/src/finder.rs:
+crates/smartmsg/src/program.rs:
+crates/smartmsg/src/runtime.rs:
+crates/smartmsg/src/tag.rs:

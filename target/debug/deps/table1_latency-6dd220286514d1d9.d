@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_latency-6dd220286514d1d9.d: crates/bench/src/bin/table1_latency.rs
+
+/root/repo/target/debug/deps/table1_latency-6dd220286514d1d9: crates/bench/src/bin/table1_latency.rs
+
+crates/bench/src/bin/table1_latency.rs:

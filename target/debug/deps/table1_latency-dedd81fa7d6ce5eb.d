@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_latency-dedd81fa7d6ce5eb.d: crates/bench/src/bin/table1_latency.rs
+
+/root/repo/target/debug/deps/table1_latency-dedd81fa7d6ce5eb: crates/bench/src/bin/table1_latency.rs
+
+crates/bench/src/bin/table1_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_energy-4c1c9f7f81badc62.d: crates/bench/src/bin/table2_energy.rs
+
+/root/repo/target/debug/deps/table2_energy-4c1c9f7f81badc62: crates/bench/src/bin/table2_energy.rs
+
+crates/bench/src/bin/table2_energy.rs:

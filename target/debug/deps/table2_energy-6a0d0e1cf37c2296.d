@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_energy-6a0d0e1cf37c2296.d: crates/bench/src/bin/table2_energy.rs
+
+/root/repo/target/debug/deps/table2_energy-6a0d0e1cf37c2296: crates/bench/src/bin/table2_energy.rs
+
+crates/bench/src/bin/table2_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tagspace-d1fde6908109dc3d.d: crates/bench/benches/tagspace.rs
+
+/root/repo/target/debug/deps/tagspace-d1fde6908109dc3d: crates/bench/benches/tagspace.rs
+
+crates/bench/benches/tagspace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/testbed-b699e135c2f00d10.d: crates/testbed/src/lib.rs crates/testbed/src/convert.rs crates/testbed/src/harness.rs crates/testbed/src/refs_impl.rs crates/testbed/src/scenario.rs
+
+/root/repo/target/debug/deps/testbed-b699e135c2f00d10: crates/testbed/src/lib.rs crates/testbed/src/convert.rs crates/testbed/src/harness.rs crates/testbed/src/refs_impl.rs crates/testbed/src/scenario.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/convert.rs:
+crates/testbed/src/harness.rs:
+crates/testbed/src/refs_impl.rs:
+crates/testbed/src/scenario.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/testbed-cfa5d94240e8e8a9.d: crates/testbed/src/lib.rs crates/testbed/src/convert.rs crates/testbed/src/harness.rs crates/testbed/src/refs_impl.rs crates/testbed/src/scenario.rs
+
+/root/repo/target/debug/deps/libtestbed-cfa5d94240e8e8a9.rlib: crates/testbed/src/lib.rs crates/testbed/src/convert.rs crates/testbed/src/harness.rs crates/testbed/src/refs_impl.rs crates/testbed/src/scenario.rs
+
+/root/repo/target/debug/deps/libtestbed-cfa5d94240e8e8a9.rmeta: crates/testbed/src/lib.rs crates/testbed/src/convert.rs crates/testbed/src/harness.rs crates/testbed/src/refs_impl.rs crates/testbed/src/scenario.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/convert.rs:
+crates/testbed/src/harness.rs:
+crates/testbed/src/refs_impl.rs:
+crates/testbed/src/scenario.rs:

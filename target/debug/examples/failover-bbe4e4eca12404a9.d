@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-bbe4e4eca12404a9.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-bbe4e4eca12404a9: examples/failover.rs
+
+examples/failover.rs:

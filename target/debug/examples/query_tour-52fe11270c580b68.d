@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_tour-52fe11270c580b68.d: examples/query_tour.rs
+
+/root/repo/target/debug/examples/query_tour-52fe11270c580b68: examples/query_tour.rs
+
+examples/query_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-219c6121e5d3f798.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-219c6121e5d3f798: examples/quickstart.rs
+
+examples/quickstart.rs:

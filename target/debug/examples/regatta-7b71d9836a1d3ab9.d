@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regatta-7b71d9836a1d3ab9.d: examples/regatta.rs
+
+/root/repo/target/debug/examples/regatta-7b71d9836a1d3ab9: examples/regatta.rs
+
+examples/regatta.rs:

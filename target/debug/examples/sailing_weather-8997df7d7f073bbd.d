@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sailing_weather-8997df7d7f073bbd.d: examples/sailing_weather.rs
+
+/root/repo/target/debug/examples/sailing_weather-8997df7d7f073bbd: examples/sailing_weather.rs
+
+examples/sailing_weather.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_discovery_cache-a67e6535eff69550.d: crates/bench/src/bin/ablation_discovery_cache.rs
+
+/root/repo/target/release/deps/ablation_discovery_cache-a67e6535eff69550: crates/bench/src/bin/ablation_discovery_cache.rs
+
+crates/bench/src/bin/ablation_discovery_cache.rs:

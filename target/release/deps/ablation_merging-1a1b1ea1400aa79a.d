@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_merging-1a1b1ea1400aa79a.d: crates/bench/src/bin/ablation_merging.rs
+
+/root/repo/target/release/deps/ablation_merging-1a1b1ea1400aa79a: crates/bench/src/bin/ablation_merging.rs
+
+crates/bench/src/bin/ablation_merging.rs:

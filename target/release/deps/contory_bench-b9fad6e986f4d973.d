@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/contory_bench-b9fad6e986f4d973.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcontory_bench-b9fad6e986f4d973.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcontory_bench-b9fad6e986f4d973.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

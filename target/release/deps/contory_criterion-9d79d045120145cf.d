@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/contory_criterion-9d79d045120145cf.d: crates/crit/src/lib.rs
+
+/root/repo/target/release/deps/libcontory_criterion-9d79d045120145cf.rlib: crates/crit/src/lib.rs
+
+/root/repo/target/release/deps/libcontory_criterion-9d79d045120145cf.rmeta: crates/crit/src/lib.rs
+
+crates/crit/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/contory_propcheck-118518d393ed2e73.d: crates/propcheck/src/lib.rs
+
+/root/repo/target/release/deps/libcontory_propcheck-118518d393ed2e73.rlib: crates/propcheck/src/lib.rs
+
+/root/repo/target/release/deps/libcontory_propcheck-118518d393ed2e73.rmeta: crates/propcheck/src/lib.rs
+
+crates/propcheck/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/contory_repro-21286494ff532bb3.d: src/lib.rs
+
+/root/repo/target/release/deps/libcontory_repro-21286494ff532bb3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcontory_repro-21286494ff532bb3.rmeta: src/lib.rs
+
+src/lib.rs:

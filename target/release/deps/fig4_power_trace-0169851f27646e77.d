@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_power_trace-0169851f27646e77.d: crates/bench/src/bin/fig4_power_trace.rs
+
+/root/repo/target/release/deps/fig4_power_trace-0169851f27646e77: crates/bench/src/bin/fig4_power_trace.rs
+
+crates/bench/src/bin/fig4_power_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_failover-306bb7f0510a1cf4.d: crates/bench/src/bin/fig5_failover.rs
+
+/root/repo/target/release/deps/fig5_failover-306bb7f0510a1cf4: crates/bench/src/bin/fig5_failover.rs
+
+crates/bench/src/bin/fig5_failover.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fuego-9354e5f3b7ef62f5.d: crates/fuego/src/lib.rs crates/fuego/src/broker.rs crates/fuego/src/client.rs crates/fuego/src/event.rs crates/fuego/src/infra.rs crates/fuego/src/xml.rs
+
+/root/repo/target/release/deps/libfuego-9354e5f3b7ef62f5.rlib: crates/fuego/src/lib.rs crates/fuego/src/broker.rs crates/fuego/src/client.rs crates/fuego/src/event.rs crates/fuego/src/infra.rs crates/fuego/src/xml.rs
+
+/root/repo/target/release/deps/libfuego-9354e5f3b7ef62f5.rmeta: crates/fuego/src/lib.rs crates/fuego/src/broker.rs crates/fuego/src/client.rs crates/fuego/src/event.rs crates/fuego/src/infra.rs crates/fuego/src/xml.rs
+
+crates/fuego/src/lib.rs:
+crates/fuego/src/broker.rs:
+crates/fuego/src/client.rs:
+crates/fuego/src/event.rs:
+crates/fuego/src/infra.rs:
+crates/fuego/src/xml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/idle_power-36c564245c39826b.d: crates/bench/src/bin/idle_power.rs
+
+/root/repo/target/release/deps/idle_power-36c564245c39826b: crates/bench/src/bin/idle_power.rs
+
+crates/bench/src/bin/idle_power.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/phone-51bc347fc4d27bc0.d: crates/phone/src/lib.rs crates/phone/src/battery.rs crates/phone/src/device.rs crates/phone/src/memory.rs crates/phone/src/meter.rs crates/phone/src/power.rs crates/phone/src/profiles.rs crates/phone/src/units.rs
+
+/root/repo/target/release/deps/libphone-51bc347fc4d27bc0.rlib: crates/phone/src/lib.rs crates/phone/src/battery.rs crates/phone/src/device.rs crates/phone/src/memory.rs crates/phone/src/meter.rs crates/phone/src/power.rs crates/phone/src/profiles.rs crates/phone/src/units.rs
+
+/root/repo/target/release/deps/libphone-51bc347fc4d27bc0.rmeta: crates/phone/src/lib.rs crates/phone/src/battery.rs crates/phone/src/device.rs crates/phone/src/memory.rs crates/phone/src/meter.rs crates/phone/src/power.rs crates/phone/src/profiles.rs crates/phone/src/units.rs
+
+crates/phone/src/lib.rs:
+crates/phone/src/battery.rs:
+crates/phone/src/device.rs:
+crates/phone/src/memory.rs:
+crates/phone/src/meter.rs:
+crates/phone/src/power.rs:
+crates/phone/src/profiles.rs:
+crates/phone/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/radio-748ac1f18915b4f6.d: crates/radio/src/lib.rs crates/radio/src/bt.rs crates/radio/src/cell.rs crates/radio/src/wifi.rs crates/radio/src/world.rs
+
+/root/repo/target/release/deps/libradio-748ac1f18915b4f6.rlib: crates/radio/src/lib.rs crates/radio/src/bt.rs crates/radio/src/cell.rs crates/radio/src/wifi.rs crates/radio/src/world.rs
+
+/root/repo/target/release/deps/libradio-748ac1f18915b4f6.rmeta: crates/radio/src/lib.rs crates/radio/src/bt.rs crates/radio/src/cell.rs crates/radio/src/wifi.rs crates/radio/src/world.rs
+
+crates/radio/src/lib.rs:
+crates/radio/src/bt.rs:
+crates/radio/src/cell.rs:
+crates/radio/src/wifi.rs:
+crates/radio/src/world.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sailing-f2f5c94e0824b137.d: crates/sailing/src/lib.rs crates/sailing/src/regatta.rs crates/sailing/src/scenario.rs crates/sailing/src/weather.rs
+
+/root/repo/target/release/deps/libsailing-f2f5c94e0824b137.rlib: crates/sailing/src/lib.rs crates/sailing/src/regatta.rs crates/sailing/src/scenario.rs crates/sailing/src/weather.rs
+
+/root/repo/target/release/deps/libsailing-f2f5c94e0824b137.rmeta: crates/sailing/src/lib.rs crates/sailing/src/regatta.rs crates/sailing/src/scenario.rs crates/sailing/src/weather.rs
+
+crates/sailing/src/lib.rs:
+crates/sailing/src/regatta.rs:
+crates/sailing/src/scenario.rs:
+crates/sailing/src/weather.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sensors-5720037428bda06d.d: crates/sensors/src/lib.rs crates/sensors/src/btgps.rs crates/sensors/src/env.rs crates/sensors/src/gps.rs crates/sensors/src/sensor.rs
+
+/root/repo/target/release/deps/libsensors-5720037428bda06d.rlib: crates/sensors/src/lib.rs crates/sensors/src/btgps.rs crates/sensors/src/env.rs crates/sensors/src/gps.rs crates/sensors/src/sensor.rs
+
+/root/repo/target/release/deps/libsensors-5720037428bda06d.rmeta: crates/sensors/src/lib.rs crates/sensors/src/btgps.rs crates/sensors/src/env.rs crates/sensors/src/gps.rs crates/sensors/src/sensor.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/btgps.rs:
+crates/sensors/src/env.rs:
+crates/sensors/src/gps.rs:
+crates/sensors/src/sensor.rs:

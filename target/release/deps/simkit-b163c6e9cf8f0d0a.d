@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/simkit-b163c6e9cf8f0d0a.d: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/sim.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+
+/root/repo/target/release/deps/libsimkit-b163c6e9cf8f0d0a.rlib: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/sim.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+
+/root/repo/target/release/deps/libsimkit-b163c6e9cf8f0d0a.rmeta: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/sim.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs crates/simkit/src/trace.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/faults.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/sim.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/trace.rs:

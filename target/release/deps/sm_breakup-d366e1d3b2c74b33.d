@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sm_breakup-d366e1d3b2c74b33.d: crates/bench/src/bin/sm_breakup.rs
+
+/root/repo/target/release/deps/sm_breakup-d366e1d3b2c74b33: crates/bench/src/bin/sm_breakup.rs
+
+crates/bench/src/bin/sm_breakup.rs:

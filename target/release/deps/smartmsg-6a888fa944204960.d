@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/smartmsg-6a888fa944204960.d: crates/smartmsg/src/lib.rs crates/smartmsg/src/finder.rs crates/smartmsg/src/program.rs crates/smartmsg/src/runtime.rs crates/smartmsg/src/tag.rs
+
+/root/repo/target/release/deps/libsmartmsg-6a888fa944204960.rlib: crates/smartmsg/src/lib.rs crates/smartmsg/src/finder.rs crates/smartmsg/src/program.rs crates/smartmsg/src/runtime.rs crates/smartmsg/src/tag.rs
+
+/root/repo/target/release/deps/libsmartmsg-6a888fa944204960.rmeta: crates/smartmsg/src/lib.rs crates/smartmsg/src/finder.rs crates/smartmsg/src/program.rs crates/smartmsg/src/runtime.rs crates/smartmsg/src/tag.rs
+
+crates/smartmsg/src/lib.rs:
+crates/smartmsg/src/finder.rs:
+crates/smartmsg/src/program.rs:
+crates/smartmsg/src/runtime.rs:
+crates/smartmsg/src/tag.rs:

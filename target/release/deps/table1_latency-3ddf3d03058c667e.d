@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_latency-3ddf3d03058c667e.d: crates/bench/src/bin/table1_latency.rs
+
+/root/repo/target/release/deps/table1_latency-3ddf3d03058c667e: crates/bench/src/bin/table1_latency.rs
+
+crates/bench/src/bin/table1_latency.rs:

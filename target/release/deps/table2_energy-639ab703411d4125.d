@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_energy-639ab703411d4125.d: crates/bench/src/bin/table2_energy.rs
+
+/root/repo/target/release/deps/table2_energy-639ab703411d4125: crates/bench/src/bin/table2_energy.rs
+
+crates/bench/src/bin/table2_energy.rs:

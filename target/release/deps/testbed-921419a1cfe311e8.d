@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/testbed-921419a1cfe311e8.d: crates/testbed/src/lib.rs crates/testbed/src/convert.rs crates/testbed/src/harness.rs crates/testbed/src/refs_impl.rs crates/testbed/src/scenario.rs
+
+/root/repo/target/release/deps/libtestbed-921419a1cfe311e8.rlib: crates/testbed/src/lib.rs crates/testbed/src/convert.rs crates/testbed/src/harness.rs crates/testbed/src/refs_impl.rs crates/testbed/src/scenario.rs
+
+/root/repo/target/release/deps/libtestbed-921419a1cfe311e8.rmeta: crates/testbed/src/lib.rs crates/testbed/src/convert.rs crates/testbed/src/harness.rs crates/testbed/src/refs_impl.rs crates/testbed/src/scenario.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/convert.rs:
+crates/testbed/src/harness.rs:
+crates/testbed/src/refs_impl.rs:
+crates/testbed/src/scenario.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libcontory_criterion.rlib: /root/repo/crates/crit/src/lib.rs

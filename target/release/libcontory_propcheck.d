@@ -1,0 +1,1 @@
+/root/repo/target/release/libcontory_propcheck.rlib: /root/repo/crates/propcheck/src/lib.rs

@@ -1,7 +1,8 @@
 //! Cross-crate property-based tests (proptest): invariants of the query
-//! language, query merging, statistics, traces, the XML codec, NMEA and
-//! the event windows.
+//! language, query merging, statistics, traces, the XML codec, NMEA,
+//! the event windows, and the fault-injection/failover machinery.
 
+use contory::backoff::BackoffPolicy;
 use contory::merge::{post_extract, try_merge};
 use contory::policy::Condition;
 use contory::query::{
@@ -331,5 +332,187 @@ proptest! {
             .with_accuracy(5.0)
             .with_trust(contory::Trust::Trusted);
         prop_assert!((110..=160).contains(&big.wire_size()), "location {}", big.wire_size());
+    }
+
+    /// Backoff delays honour the policy contract for arbitrary policies:
+    /// capped at `max`, monotone in the attempt number (multipliers below
+    /// 1 are clamped), and jittered draws stay inside the ±jitter band
+    /// around the undithered base delay.
+    #[test]
+    fn backoff_delays_are_capped_monotone_and_jitter_bounded(
+        initial in 1u64..120,
+        max in 1u64..600,
+        multiplier in 0.5f64..4.0,
+        jitter in 0.0f64..0.9,
+    ) {
+        let policy = BackoffPolicy {
+            initial: SimDuration::from_secs(initial),
+            max: SimDuration::from_secs(max),
+            multiplier,
+            jitter,
+        };
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..40u32 {
+            let base = policy.base_delay(attempt);
+            prop_assert!(base <= policy.max, "attempt {attempt}: {base:?} over the cap");
+            prop_assert!(base >= prev, "attempt {attempt}: base delay not monotone");
+            prev = base;
+            for unit in [0.0, 0.25, 0.5, 0.75, 0.999] {
+                let d = policy.delay_with_unit(attempt, unit).as_secs_f64();
+                let b = base.as_secs_f64();
+                // SimDuration quantises to microseconds; allow for it.
+                prop_assert!(
+                    d >= b * (1.0 - jitter) - 2e-6 && d <= b * (1.0 + jitter) + 2e-6,
+                    "attempt {attempt} unit {unit}: {d} outside ±{jitter} of {b}"
+                );
+            }
+        }
+    }
+
+    /// A scripted link outage is airtight: while the fault plan holds the
+    /// requester's BT radio down, no context item is delivered to the
+    /// client (a short grace window covers frames already in flight when
+    /// the link drops).
+    #[test]
+    fn fault_plan_never_delivers_through_a_down_link(
+        seed in 0u64..100_000,
+        start in 60u64..120,
+        len in 30u64..90,
+    ) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let tb = testbed::Testbed::with_seed(seed);
+        let requester = tb.add_phone(testbed::PhoneSetup {
+            metered: false,
+            ..testbed::PhoneSetup::nokia6630("req", radio::Position::new(0.0, 0.0))
+        });
+        let provider = tb.add_phone(testbed::PhoneSetup {
+            metered: false,
+            ..testbed::PhoneSetup::nokia6630("prov", radio::Position::new(6.0, 0.0))
+        });
+        provider.factory().register_cxt_server("app");
+        {
+            let factory = provider.factory().clone();
+            let sim = tb.sim.clone();
+            tb.sim.schedule_repeating(SimDuration::from_secs(10), move || {
+                let _ = factory.publish_cxt_item(
+                    CxtItem::new("wind", CxtValue::quantity(9.0, "kn"), sim.now())
+                        .with_accuracy(0.5)
+                        .with_trust(contory::Trust::Community),
+                    None,
+                );
+                true
+            });
+        }
+        let mut plan = simkit::FaultPlan::new(seed);
+        plan.down_between(
+            "bt:req",
+            SimTime::from_secs(start),
+            SimTime::from_secs(start + len),
+        );
+        tb.install_faults(&plan);
+        tb.sim.run_for(SimDuration::from_secs(2));
+        let client = Rc::new(contory::CollectingClient::new());
+        let id = requester
+            .submit(
+                "SELECT wind FROM adHocNetwork(all,1) DURATION 30 min EVERY 10 sec",
+                client.clone(),
+            )
+            .unwrap();
+        // Sample the delivered-item count once per simulated second.
+        let samples: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let samples = samples.clone();
+            let client = client.clone();
+            let tick = std::cell::Cell::new(0u64);
+            tb.sim.schedule_repeating(SimDuration::from_secs(1), move || {
+                tick.set(tick.get() + 1);
+                samples.borrow_mut().push((tick.get() + 2, client.items_for(id).len()));
+                true
+            });
+        }
+        tb.sim.run_until(SimTime::from_secs(start + len));
+        let grace = 3;
+        for w in samples.borrow().windows(2) {
+            let (_, c0) = w[0];
+            let (t1, c1) = w[1];
+            if t1 > start + grace && t1 <= start + len {
+                prop_assert!(
+                    c1 == c0,
+                    "item delivered at t≈{t1}s inside the outage [{start}, {}]s",
+                    start + len
+                );
+            }
+        }
+    }
+
+    /// The whole failure/recovery pipeline is deterministic: the same
+    /// seed and the same fault plan reproduce the identical
+    /// `FailoverReport` (and the identical item stream and fault log).
+    #[test]
+    fn same_seed_and_plan_give_identical_failover_reports(
+        seed in 0u64..100_000,
+        start in 60u64..110,
+        len in 40u64..80,
+    ) {
+        use std::rc::Rc;
+        let run = || {
+            let tb = testbed::Testbed::with_seed(seed);
+            let requester = tb.add_phone(testbed::PhoneSetup {
+                metered: false,
+                factory: contory::FactoryConfig {
+                    failover: contory::FailoverConfig {
+                        max_retries: 1,
+                        silence_periods: 4,
+                        ..contory::FailoverConfig::default()
+                    },
+                    ..contory::FactoryConfig::default()
+                },
+                ..testbed::PhoneSetup::nokia6630("req", radio::Position::new(0.0, 0.0))
+            });
+            let provider = tb.add_phone(testbed::PhoneSetup {
+                metered: false,
+                ..testbed::PhoneSetup::nokia6630("prov", radio::Position::new(6.0, 0.0))
+            });
+            provider.factory().register_cxt_server("app");
+            {
+                let factory = provider.factory().clone();
+                let sim = tb.sim.clone();
+                tb.sim.schedule_repeating(SimDuration::from_secs(10), move || {
+                    let _ = factory.publish_cxt_item(
+                        CxtItem::new("wind", CxtValue::quantity(9.0, "kn"), sim.now())
+                            .with_accuracy(0.5)
+                            .with_trust(contory::Trust::Community),
+                        None,
+                    );
+                    true
+                });
+            }
+            let mut plan = simkit::FaultPlan::new(seed);
+            plan.down_between(
+                "bt:req",
+                SimTime::from_secs(start),
+                SimTime::from_secs(start + len),
+            );
+            let injector = tb.install_faults(&plan);
+            tb.sim.run_for(SimDuration::from_secs(2));
+            let client = Rc::new(contory::CollectingClient::new());
+            let id = requester
+                .submit(
+                    "SELECT wind FROM adHocNetwork(all,1) DURATION 30 min EVERY 10 sec",
+                    client.clone(),
+                )
+                .unwrap();
+            tb.sim.run_until(SimTime::from_secs(400));
+            let report = requester.factory().monitor().failover_report(tb.sim.now());
+            let items: Vec<String> =
+                client.items_for(id).iter().map(|i| i.to_string()).collect();
+            (report.to_string(), items, injector.transitions_applied())
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.0, &b.0);
+        prop_assert_eq!(&a.1, &b.1);
+        prop_assert_eq!(a.2, b.2);
     }
 }
