@@ -62,10 +62,13 @@ pub fn print_table(title: &str, unit: &str, rows: &[Row]) {
         .chain([head_paper.len()])
         .max()
         .unwrap_or(12);
-    println!("\n=== {title} ===");
+    // The comparison-table renderer *is* the bench output channel.
+    println!("\n=== {title} ==="); // lint:allow(no-print-in-lib) bench table renderer
+    // lint:allow(no-print-in-lib) bench table renderer
     println!("{:<w_label$}  {:>w_meas$}  {:>w_paper$}  note", "operation", head_meas, head_paper);
-    println!("{}", "-".repeat(w_label + w_meas + w_paper + 24));
+    println!("{}", "-".repeat(w_label + w_meas + w_paper + 24)); // lint:allow(no-print-in-lib) bench table renderer
     for r in rows {
+        // lint:allow(no-print-in-lib) bench table renderer
         println!(
             "{:<w_label$}  {:>w_meas$}  {:>w_paper$}  {}",
             r.label, r.measured, r.paper, r.note

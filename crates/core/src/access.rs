@@ -10,7 +10,7 @@
 
 use crate::item::SourceId;
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -42,7 +42,7 @@ struct Inner {
     /// Most-recently-used list of known-good sources, newest at the back.
     known: Vec<SourceId>,
     capacity: usize,
-    blocked: HashSet<SourceId>,
+    blocked: BTreeSet<SourceId>,
     decider: Option<Decider>,
 }
 
@@ -74,7 +74,7 @@ impl AccessController {
                 mode,
                 known: Vec::new(),
                 capacity,
-                blocked: HashSet::new(),
+                blocked: BTreeSet::new(),
                 decider: None,
             })),
         }

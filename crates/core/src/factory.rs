@@ -642,13 +642,14 @@ impl ContextFactory {
                 tried: tried.join(", "),
             });
         };
-        let facade = self
-            .inner
-            .borrow()
-            .facades
-            .get(&mechanism)
-            .cloned()
-            .expect("candidate implies facade");
+        // `candidates()` only returns mechanisms with a registered facade,
+        // but propagate instead of panicking if that invariant ever slips.
+        let Some(facade) = self.inner.borrow().facades.get(&mechanism).cloned() else {
+            return Err(ContoryError::NoMechanism {
+                cxt_type: query.select.clone(),
+                reason: format!("no facade registered for {mechanism}"),
+            });
+        };
         // Record the mechanism *before* submitting: a provider whose
         // radio is already down fails synchronously inside submit(),
         // re-entering assign() — which must not be overwritten afterwards.

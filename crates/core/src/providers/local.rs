@@ -122,7 +122,10 @@ impl LocalCxtProvider {
     }
 
     fn start_internal(&self) {
-        let internal = self.internal.clone().expect("internal binding");
+        let Some(internal) = self.internal.clone() else {
+            (self.on_failure)(RefError::Unavailable("no internal sensor reference".into()));
+            return;
+        };
         let mode = self.inner.borrow().query.mode.clone();
         let cxt_type = self.inner.borrow().query.select.clone();
         match mode {
@@ -168,7 +171,10 @@ impl LocalCxtProvider {
     }
 
     fn open_stream(&self, source: SourceId) {
-        let bt = self.bt.clone().expect("bt binding");
+        let Some(bt) = self.bt.clone() else {
+            (self.on_failure)(RefError::Unavailable("no BT reference".into()));
+            return;
+        };
         let cxt_type = self.inner.borrow().query.select.clone();
         {
             let mut inner = self.inner.borrow_mut();
@@ -224,7 +230,10 @@ impl LocalCxtProvider {
                 me.schedule_poll(want);
                 return false;
             }
-            let internal = me.internal.clone().expect("internal binding");
+            let Some(internal) = me.internal.clone() else {
+                (me.on_failure)(RefError::Unavailable("no internal sensor reference".into()));
+                return false;
+            };
             let me2 = me.clone_handle();
             let cxt_type = me.inner.borrow().query.select.clone();
             internal.sample(

@@ -88,8 +88,12 @@ impl CxtPublisher {
                     Err(e) => {
                         st.last_err = Some(e);
                         if st.remaining == 0 && !st.done {
-                            let err = st.last_err.take().expect("error recorded");
-                            if let Some(cb) = st.cb.take() {
+                            // Every target failed: report the most recent
+                            // error. The `if let` replaces a former
+                            // `expect()` — the error was just recorded, but
+                            // panicking inside a radio callback would take
+                            // the whole middleware down.
+                            if let (Some(err), Some(cb)) = (st.last_err.take(), st.cb.take()) {
                                 drop(st);
                                 cb(Err(err));
                             }

@@ -82,6 +82,7 @@ impl Bencher {
 
     fn report(&self, name: &str) {
         if self.samples.is_empty() {
+            // lint:allow(no-print-in-lib) the criterion shim reports to stdout by design
             println!("{name:<40} (no samples)");
             return;
         }
@@ -91,6 +92,7 @@ impl Bencher {
         let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
         let lo = sorted[0];
         let hi = sorted[sorted.len() - 1];
+        // lint:allow(no-print-in-lib) the criterion shim reports to stdout by design
         println!(
             "{name:<40} median {median:>12?}  mean {mean:>12?}  range [{lo:?} .. {hi:?}]  ({} samples)",
             sorted.len()
@@ -134,7 +136,7 @@ impl Criterion {
 
     /// Opens a named group of benchmarks sharing configuration.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        println!("group {name}:");
+        println!("group {name}:"); // lint:allow(no-print-in-lib) criterion shim reports to stdout
         BenchmarkGroup {
             parent: self,
             samples: None,

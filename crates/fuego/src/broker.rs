@@ -10,7 +10,7 @@ use radio::cell::CellNetwork;
 use radio::NodeId;
 use simkit::Sim;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -64,8 +64,8 @@ impl Frame {
 type Service = Rc<dyn Fn(NodeId, EventNotification) -> Option<EventNotification>>;
 
 struct BrokerInner {
-    subs: HashMap<String, Vec<(NodeId, SubId)>>,
-    services: HashMap<String, Service>,
+    subs: BTreeMap<String, Vec<(NodeId, SubId)>>,
+    services: BTreeMap<String, Service>,
     published: u64,
     delivered: u64,
     /// Fault injection: while `true` the broker is dark — every uplink
@@ -92,8 +92,8 @@ impl EventBroker {
         let broker = EventBroker {
             net: net.clone(),
             inner: Rc::new(RefCell::new(BrokerInner {
-                subs: HashMap::new(),
-                services: HashMap::new(),
+                subs: BTreeMap::new(),
+                services: BTreeMap::new(),
                 published: 0,
                 delivered: 0,
                 outage: false,

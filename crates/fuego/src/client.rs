@@ -10,7 +10,7 @@ use crate::xml::XmlElement;
 use radio::cell::{CellError, CellModem};
 use simkit::{Sim, SimDuration};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
@@ -46,8 +46,8 @@ struct ClientInner {
     next_event: u64,
     next_sub: u64,
     next_req: u64,
-    pending: HashMap<u64, ResponseHandler>,
-    subs: HashMap<SubId, DeliveryHandler>,
+    pending: BTreeMap<u64, ResponseHandler>,
+    subs: BTreeMap<SubId, DeliveryHandler>,
 }
 
 /// A Fuego client bound to one phone's modem.
@@ -70,8 +70,8 @@ impl FuegoClient {
                 next_event: 0,
                 next_sub: 0,
                 next_req: 0,
-                pending: HashMap::new(),
-                subs: HashMap::new(),
+                pending: BTreeMap::new(),
+                subs: BTreeMap::new(),
             })),
         };
         let c = client.clone();

@@ -209,7 +209,7 @@ impl<'a> Parser<'a> {
         Some(b)
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseXmlError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseXmlError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -275,7 +275,7 @@ impl<'a> Parser<'a> {
     }
 
     fn quoted(&mut self) -> Result<String, ParseXmlError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -288,7 +288,7 @@ impl<'a> Parser<'a> {
     }
 
     fn element(&mut self) -> Result<XmlElement, ParseXmlError> {
-        self.expect(b'<')?;
+        self.expect_byte(b'<')?;
         let name = self.name()?;
         let mut el = XmlElement::new(name);
         loop {
@@ -296,7 +296,7 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some(b'/') => {
                     self.pos += 1;
-                    self.expect(b'>')?;
+                    self.expect_byte(b'>')?;
                     return Ok(el);
                 }
                 Some(b'>') => {
@@ -306,7 +306,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     let key = self.name()?;
                     self.skip_ws();
-                    self.expect(b'=')?;
+                    self.expect_byte(b'=')?;
                     self.skip_ws();
                     let value = self.quoted()?;
                     el.attributes.push((key, value));
@@ -328,7 +328,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         self.skip_ws();
-                        self.expect(b'>')?;
+                        self.expect_byte(b'>')?;
                         return Ok(el);
                     }
                     el.children.push(self.element()?);

@@ -1,0 +1,503 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The linter does not need a real parse tree — every rule in the catalog
+//! is a *token-sequence* pattern (`Instant :: now`, `. unwrap ( )`, …).
+//! What it does need, and what a regex grep cannot give it, is to be
+//! **comment- and string-aware**: `/// let x = map.unwrap();` in a doc
+//! comment, `"HashMap"` in a string literal, or `r#"thread::sleep"#` in a
+//! raw string must never fire a diagnostic.
+//!
+//! The lexer therefore produces:
+//!
+//! - a flat stream of [`Tok`]s (identifiers, punctuation, literals,
+//!   lifetimes) with 1-based `line:col` positions, and
+//! - the set of [`Pragma`]s found in comments (`// lint:allow(rule-a,
+//!   rule-b)`), each tagged with whether the comment stood alone on its
+//!   line (in which case it suppresses the *next* line, not its own).
+//!
+//! Numeric literals swallow their fractional part (`1.5` never emits a
+//! `.` punct) and `'a` lifetimes are distinguished from `'a'` char
+//! literals, so downstream needle-matching stays free of false hits.
+
+/// Kind of a lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `unwrap`, …).
+    Ident,
+    /// Punctuation. Single char, except `::` which is fused into one
+    /// token because every qualified-path needle wants it.
+    Punct,
+    /// String / raw-string / byte-string / char / numeric literal.
+    /// The text is not preserved (no rule looks inside literals).
+    Literal,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (empty for [`TokKind::Literal`]).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True if this is the punctuation `p` (e.g. `"::"`, `"."`).
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// A `lint:allow(...)` pragma found in a comment.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// Rules named inside the parentheses.
+    pub rules: Vec<String>,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// True if no token precedes the comment on its line: the pragma
+    /// then applies to the *following* line instead of its own.
+    pub standalone: bool,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<Tok>,
+    /// All `lint:allow` pragmas, in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Extracts every `lint:allow(a, b)` occurrence from a comment body.
+fn pragmas_in_comment(body: &str, line: u32, standalone: bool, out: &mut Vec<Pragma>) {
+    let mut rest = body;
+    while let Some(idx) = rest.find("lint:allow(") {
+        let after = &rest[idx + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else { break };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            out.push(Pragma {
+                rules,
+                line,
+                standalone,
+            });
+        }
+        rest = &after[close + 1..];
+    }
+}
+
+/// Lexes `src` into tokens and pragmas. Never fails: malformed input
+/// (e.g. an unterminated string) simply truncates the stream, which for
+/// a linter is the right degradation.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    // Tracks whether any *token* has been emitted on the current line,
+    // to classify comments as standalone or trailing.
+    let mut last_tok_line = 0u32;
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                cur.bump();
+            }
+            '/' if cur.peek_at(1) == Some('/') => {
+                // Line comment (incl. /// and //! doc comments).
+                let mut body = String::new();
+                while let Some(ch) = cur.peek() {
+                    if ch == '\n' {
+                        break;
+                    }
+                    body.push(ch);
+                    cur.bump();
+                }
+                pragmas_in_comment(&body, line, last_tok_line != line, &mut out.pragmas);
+            }
+            '/' if cur.peek_at(1) == Some('*') => {
+                // Block comment, nestable.
+                let mut body = String::new();
+                let standalone = last_tok_line != line;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(ch), _) => {
+                            body.push(ch);
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                pragmas_in_comment(&body, line, standalone, &mut out.pragmas);
+            }
+            '"' => {
+                cur.bump();
+                skip_string_body(&mut cur);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            'r' | 'b' if starts_prefixed_literal(&cur) => {
+                skip_prefixed_literal(&mut cur);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                let next = cur.peek_at(1);
+                let after = cur.peek_at(2);
+                let is_lifetime = matches!(next, Some(n) if is_ident_start(n))
+                    && after != Some('\'');
+                if is_lifetime {
+                    cur.bump(); // '
+                    let mut text = String::new();
+                    while let Some(ch) = cur.peek() {
+                        if !is_ident_continue(ch) {
+                            break;
+                        }
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                    });
+                } else {
+                    cur.bump(); // opening '
+                    if cur.peek() == Some('\\') {
+                        cur.bump();
+                        cur.bump(); // escaped char
+                        // \u{...} escapes
+                        while cur.peek().is_some_and(|ch| ch != '\'') {
+                            cur.bump();
+                        }
+                    } else {
+                        cur.bump(); // the char
+                    }
+                    if cur.peek() == Some('\'') {
+                        cur.bump(); // closing '
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                }
+                last_tok_line = line;
+            }
+            d if d.is_ascii_digit() => {
+                skip_number(&mut cur);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            i if is_ident_start(i) => {
+                let mut text = String::new();
+                while let Some(ch) = cur.peek() {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            ':' if cur.peek_at(1) == Some(':') => {
+                cur.bump();
+                cur.bump();
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "::".into(),
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            p => {
+                cur.bump();
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: p.to_string(),
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// True if the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"`, `br#`.
+fn starts_prefixed_literal(cur: &Cursor) -> bool {
+    match (cur.peek(), cur.peek_at(1), cur.peek_at(2)) {
+        (Some('r'), Some('"' | '#'), _) => true,
+        (Some('b'), Some('"' | '\''), _) => true,
+        (Some('b'), Some('r'), Some('"' | '#')) => true,
+        _ => false,
+    }
+}
+
+/// Consumes a raw/byte string or byte-char literal from its prefix.
+fn skip_prefixed_literal(cur: &mut Cursor) {
+    let mut raw = false;
+    while let Some(c) = cur.peek() {
+        match c {
+            'r' => {
+                raw = true;
+                cur.bump();
+            }
+            'b' => {
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    if raw {
+        // r#*" ... "#*
+        let mut hashes = 0usize;
+        while cur.peek() == Some('#') {
+            hashes += 1;
+            cur.bump();
+        }
+        if cur.peek() == Some('"') {
+            cur.bump();
+        }
+        'outer: while let Some(c) = cur.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if cur.peek_at(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    } else if cur.peek() == Some('"') {
+        cur.bump();
+        skip_string_body(cur);
+    } else if cur.peek() == Some('\'') {
+        // byte char b'x'
+        cur.bump();
+        if cur.peek() == Some('\\') {
+            cur.bump();
+        }
+        cur.bump();
+        if cur.peek() == Some('\'') {
+            cur.bump();
+        }
+    }
+}
+
+/// Consumes the body of a `"` string, opening quote already eaten.
+fn skip_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a numeric literal: ints, floats, hex, suffixes, `_` groups.
+fn skip_number(cur: &mut Cursor) {
+    // Leading digits / hex / suffix chars.
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.bump();
+        } else if c == '.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            // Fractional part: consume the dot so `1.5` never yields a
+            // `.` punct (keeps the `.unwrap()` needle clean).
+            cur.bump();
+        } else if (c == '+' || c == '-')
+            && matches!(cur.chars.get(cur.pos.wrapping_sub(1)), Some('e' | 'E'))
+        {
+            // Exponent sign: 1e-6
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r###"
+            // Instant::now in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "thread::sleep";
+            let r = r#"SystemTime::now"#;
+            let ok = real_ident;
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"thread".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn float_literal_swallows_dot() {
+        let toks = lex("let x = 1.5.max(2.0);").tokens;
+        // exactly one '.' punct: the method call on the float
+        let dots = toks.iter().filter(|t| t.is_punct(".")).count();
+        assert_eq!(dots, 1);
+    }
+
+    #[test]
+    fn double_colon_fuses() {
+        let toks = lex("std::process::exit(1)").tokens;
+        assert_eq!(toks.iter().filter(|t| t.is_punct("::")).count(), 2);
+    }
+
+    #[test]
+    fn pragma_trailing_vs_standalone() {
+        let src = "let a = 1; // lint:allow(rule-x)\n// lint:allow(rule-y, rule-z)\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 2);
+        assert!(!lexed.pragmas[0].standalone);
+        assert_eq!(lexed.pragmas[0].rules, vec!["rule-x"]);
+        assert!(lexed.pragmas[1].standalone);
+        assert_eq!(lexed.pragmas[1].rules, vec!["rule-y", "rule-z"]);
+    }
+
+    #[test]
+    fn byte_and_raw_literals_skipped() {
+        let ids = idents(r##"let b = b"HashMap"; let c = b'x'; let r = br#"Instant"#;"##);
+        assert_eq!(ids, vec!["let", "b", "let", "c", "let", "r"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab\n  cd").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,476 @@
+//! `lintkit` — offline determinism & robustness lints for the Contory
+//! workspace.
+//!
+//! PR 1 made failover simulation deterministic and seed-reproducible;
+//! nothing *enforced* the invariants it relies on. A single
+//! `Instant::now()`, an ambient `HashMap` iteration or a stray
+//! `unwrap()` in `crates/core` silently breaks seed-for-seed
+//! reproducibility of `FailoverReport`s and the Fig. 5 SLO bench. This
+//! crate is the machine-checked contract: a dependency-free static pass
+//! (no `syn`, no `dylint`, nothing from crates.io) built on a small
+//! hand-rolled, comment/string-aware Rust lexer.
+//!
+//! Run it over the whole workspace:
+//!
+//! ```text
+//! cargo run -p lintkit -- --workspace
+//! ```
+//!
+//! or over individual files (`cargo run -p lintkit -- path/to/file.rs`).
+//! It also runs as a tier-1 test (`crates/lintkit/tests/workspace_clean.rs`)
+//! and as the `==> lintkit gate` step of `scripts/verify.sh`.
+//!
+//! ## Suppressing a diagnostic
+//!
+//! Append a pragma to the offending line (or place it alone on the line
+//! above) naming the rule(s) to silence — always with a justification:
+//!
+//! ```text
+//! let t0 = Instant::now(); // lint:allow(wallclock-ban) bench harness timing
+//! ```
+//!
+//! ## Fixture files
+//!
+//! A file whose first lines contain a directive such as
+//!
+//! ```text
+//! // lint-fixture: crate=core kind=lib
+//! ```
+//!
+//! is linted *as if* it lived in that crate/target, which is how the
+//! golden-file fixture suite exercises path-scoped rules from
+//! `tests/fixtures/`. The workspace walk skips `fixtures/` directories.
+
+#![deny(warnings)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{cfg_test_regions, find_matches, Rule, RULES};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// What kind of compilation target a file belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`src/**` excluding `src/bin`).
+    Lib,
+    /// Binary target (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration test (`tests/**`) or `#[cfg(test)]` region.
+    Test,
+    /// Bench target (`benches/**`).
+    Bench,
+    /// Example (`examples/**`).
+    Example,
+}
+
+impl fmt::Display for FileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FileKind::Lib => "lib",
+            FileKind::Bin => "bin",
+            FileKind::Test => "test",
+            FileKind::Bench => "bench",
+            FileKind::Example => "example",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FileKind {
+    fn parse(s: &str) -> Option<FileKind> {
+        Some(match s {
+            "lib" => FileKind::Lib,
+            "bin" => FileKind::Bin,
+            "test" => FileKind::Test,
+            "bench" => FileKind::Bench,
+            "example" => FileKind::Example,
+            _ => return None,
+        })
+    }
+}
+
+/// Lint context of one file: which crate it belongs to (short name,
+/// e.g. `core` for `crates/core`; `None` for the umbrella crate) and
+/// what kind of target it is.
+#[derive(Clone, Debug)]
+pub struct FileCtx {
+    /// Short crate name (the directory under `crates/`), if any.
+    pub krate: Option<String>,
+    /// Target kind.
+    pub kind: FileKind,
+}
+
+/// One reported violation.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// File the violation is in.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: error[{}]: {}",
+            self.path.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// Summary of one lint run.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Violations found (pragma-suppressed hits excluded).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of hits suppressed by `lint:allow` pragmas.
+    pub allowed: usize,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl RunReport {
+    /// True if no violation survived.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    fn merge(&mut self, other: RunReport) {
+        self.diagnostics.extend(other.diagnostics);
+        self.allowed += other.allowed;
+        self.files += other.files;
+    }
+}
+
+/// Classifies a file by its path relative to the workspace root.
+pub fn classify(rel_path: &Path) -> FileCtx {
+    let comps: Vec<String> = rel_path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let krate = match comps.first().map(String::as_str) {
+        Some("crates") => comps.get(1).cloned(),
+        _ => None,
+    };
+    let has = |seg: &str| comps.iter().any(|c| c == seg);
+    let file = comps.last().map(String::as_str).unwrap_or("");
+    let kind = if has("tests") {
+        FileKind::Test
+    } else if has("benches") {
+        FileKind::Bench
+    } else if has("examples") {
+        FileKind::Example
+    } else if has("bin") || file == "main.rs" || file == "build.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    FileCtx { krate, kind }
+}
+
+/// Parses a `// lint-fixture: crate=<name> kind=<kind>` directive from
+/// the head of a source file.
+pub fn fixture_directive(src: &str) -> Option<FileCtx> {
+    for line in src.lines().take(5) {
+        let Some(idx) = line.find("lint-fixture:") else {
+            continue;
+        };
+        let mut krate = None;
+        let mut kind = FileKind::Lib;
+        for field in line[idx + "lint-fixture:".len()..].split_whitespace() {
+            if let Some(v) = field.strip_prefix("crate=") {
+                krate = Some(v.to_string());
+            } else if let Some(v) = field.strip_prefix("kind=") {
+                kind = FileKind::parse(v)?;
+            }
+        }
+        return Some(FileCtx { krate, kind });
+    }
+    None
+}
+
+/// Lints one source string under an explicit context.
+pub fn lint_source(path: &Path, src: &str, ctx: &FileCtx) -> RunReport {
+    let lexed = lexer::lex(src);
+    let test_regions = cfg_test_regions(&lexed.tokens);
+    let in_test_region = |tok_idx: usize| {
+        test_regions
+            .iter()
+            .any(|&(start, end)| tok_idx >= start && tok_idx <= end)
+    };
+
+    // line -> rules allowed on that line.
+    let mut allow: std::collections::BTreeMap<u32, BTreeSet<String>> =
+        std::collections::BTreeMap::new();
+    for pragma in &lexed.pragmas {
+        let line = if pragma.standalone {
+            pragma.line + 1
+        } else {
+            pragma.line
+        };
+        allow
+            .entry(line)
+            .or_default()
+            .extend(pragma.rules.iter().cloned());
+    }
+
+    let mut report = RunReport {
+        files: 1,
+        ..RunReport::default()
+    };
+    for rule in RULES {
+        let applies_outside = (rule.applies)(ctx);
+        let applies_in_tests = (rule.applies)(&FileCtx {
+            krate: ctx.krate.clone(),
+            kind: FileKind::Test,
+        });
+        if !applies_outside && !applies_in_tests {
+            continue;
+        }
+        for needle in rule.needles {
+            for tok_idx in find_matches(&lexed.tokens, needle) {
+                let effective = if in_test_region(tok_idx) {
+                    applies_in_tests
+                } else {
+                    applies_outside
+                };
+                if !effective {
+                    continue;
+                }
+                let tok = &lexed.tokens[tok_idx];
+                let allowed = allow
+                    .get(&tok.line)
+                    .is_some_and(|rules| rules.contains(rule.name));
+                if allowed {
+                    report.allowed += 1;
+                } else {
+                    report.diagnostics.push(Diagnostic {
+                        rule: rule.name,
+                        path: path.to_path_buf(),
+                        line: tok.line,
+                        col: tok.col,
+                        msg: needle.msg.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    report
+        .diagnostics
+        .sort_by_key(|d| (d.line, d.col, d.rule));
+    report
+}
+
+/// Lints one file from disk. A `lint-fixture:` directive overrides the
+/// path-derived context (so fixtures exercise path-scoped rules).
+pub fn lint_file(root: &Path, path: &Path) -> std::io::Result<RunReport> {
+    let src = std::fs::read_to_string(path)?;
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let ctx = fixture_directive(&src).unwrap_or_else(|| classify(rel));
+    Ok(lint_source(rel, &src, &ctx))
+}
+
+/// Directories never descended into during the workspace walk.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results"];
+
+/// Collects every workspace `.rs` file under `root`, in sorted
+/// (deterministic) order, skipping build output and lint fixtures.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let name = entry
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if entry.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(entry);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(entry);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<RunReport> {
+    let mut report = RunReport::default();
+    for file in workspace_files(root)? {
+        report.merge(lint_file(root, &file)?);
+    }
+    report
+        .diagnostics
+        .sort_by_key(|d| (d.path.clone(), d.line, d.col));
+    Ok(report)
+}
+
+/// Locates the workspace root: an ancestor of `start` (or of this
+/// crate's manifest dir) containing both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut candidates: Vec<PathBuf> = vec![start.to_path_buf()];
+    candidates.push(Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf());
+    for base in candidates {
+        let mut dir = Some(base.as_path());
+        while let Some(d) = dir {
+            if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+                return Some(d.to_path_buf());
+            }
+            dir = d.parent();
+        }
+    }
+    None
+}
+
+/// The rule catalog (re-exported for the CLI and docs).
+pub fn catalog() -> &'static [Rule] {
+    RULES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(krate: &str, kind: FileKind) -> FileCtx {
+        FileCtx {
+            krate: Some(krate.to_string()),
+            kind,
+        }
+    }
+
+    fn diags(src: &str, c: &FileCtx) -> Vec<(String, u32)> {
+        lint_source(Path::new("x.rs"), src, c)
+            .diagnostics
+            .into_iter()
+            .map(|d| (d.rule.to_string(), d.line))
+            .collect()
+    }
+
+    #[test]
+    fn wallclock_fires_outside_crit_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(diags(src, &ctx("radio", FileKind::Lib)).len(), 1);
+        assert_eq!(diags(src, &ctx("crit", FileKind::Lib)).len(), 0);
+    }
+
+    #[test]
+    fn unordered_iter_scoped_to_sim_visible_libs() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(diags(src, &ctx("core", FileKind::Lib)).len(), 1);
+        assert_eq!(diags(src, &ctx("bench", FileKind::Lib)).len(), 0);
+        assert_eq!(diags(src, &ctx("core", FileKind::Test)).len(), 0);
+    }
+
+    #[test]
+    fn unwrap_exempt_in_cfg_test_mod() {
+        let src = "fn lib() -> u32 { v.unwrap() }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t() { v.unwrap(); }\n}\n";
+        let d = diags(src, &ctx("core", FileKind::Lib));
+        assert_eq!(d, vec![("no-unwrap-in-core".to_string(), 1)]);
+    }
+
+    #[test]
+    fn pragma_suppresses_same_line_and_next_line() {
+        let same = "fn f() { panic!(); } // lint:allow(no-unwrap-in-core) invariant";
+        assert!(diags(same, &ctx("core", FileKind::Lib)).is_empty());
+        let next = "// lint:allow(no-unwrap-in-core) invariant\nfn f() { panic!(); }";
+        assert!(diags(next, &ctx("core", FileKind::Lib)).is_empty());
+        let wrong_rule = "fn f() { panic!(); } // lint:allow(no-exit)";
+        assert_eq!(diags(wrong_rule, &ctx("core", FileKind::Lib)).len(), 1);
+    }
+
+    #[test]
+    fn allowed_hits_are_counted() {
+        let src = "fn f() { panic!(); } // lint:allow(no-unwrap-in-core)";
+        let report = lint_source(Path::new("x.rs"), src, &ctx("core", FileKind::Lib));
+        assert!(report.is_clean());
+        assert_eq!(report.allowed, 1);
+    }
+
+    #[test]
+    fn exit_exempt_in_bins_and_examples() {
+        let src = "fn f() { std::process::exit(1); }";
+        assert_eq!(diags(src, &ctx("core", FileKind::Lib)).len(), 1);
+        assert_eq!(diags(src, &ctx("core", FileKind::Test)).len(), 1);
+        assert_eq!(diags(src, &ctx("bench", FileKind::Bin)).len(), 0);
+        assert_eq!(diags(src, &ctx("bench", FileKind::Example)).len(), 0);
+    }
+
+    #[test]
+    fn print_exempt_outside_lib() {
+        let src = "fn f() { println!(\"hi\"); }";
+        assert_eq!(diags(src, &ctx("core", FileKind::Lib)).len(), 1);
+        for kind in [FileKind::Bin, FileKind::Test, FileKind::Bench, FileKind::Example] {
+            assert_eq!(diags(src, &ctx("core", kind)).len(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn ambient_rng_fires_everywhere() {
+        let src = "use std::collections::hash_map::RandomState;";
+        assert_eq!(diags(src, &ctx("bench", FileKind::Bin)).len(), 1);
+        assert_eq!(diags(src, &ctx("simkit", FileKind::Lib)).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f() { v.unwrap_or(0); v.unwrap_or_else(|| 0); v.unwrap_or_default(); }";
+        assert!(diags(src, &ctx("core", FileKind::Lib)).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_fire() {
+        let src = "/// let v = x.unwrap();\n/// let t = Instant::now();\nfn f() {}";
+        assert!(diags(src, &ctx("core", FileKind::Lib)).is_empty());
+    }
+
+    #[test]
+    fn classify_paths() {
+        let c = classify(Path::new("crates/core/src/policy.rs"));
+        assert_eq!(c.krate.as_deref(), Some("core"));
+        assert_eq!(c.kind, FileKind::Lib);
+        let c = classify(Path::new("crates/bench/src/bin/fig5_failover.rs"));
+        assert_eq!(c.kind, FileKind::Bin);
+        let c = classify(Path::new("tests/full_stack.rs"));
+        assert_eq!(c.krate, None);
+        assert_eq!(c.kind, FileKind::Test);
+        let c = classify(Path::new("crates/fuego/tests/end_to_end.rs"));
+        assert_eq!(c.kind, FileKind::Test);
+        let c = classify(Path::new("examples/quickstart.rs"));
+        assert_eq!(c.kind, FileKind::Example);
+        let c = classify(Path::new("crates/bench/benches/merging.rs"));
+        assert_eq!(c.kind, FileKind::Bench);
+    }
+
+    #[test]
+    fn fixture_directive_parses() {
+        let src = "// lint-fixture: crate=core kind=lib\nfn f() {}";
+        let c = fixture_directive(src).expect("directive");
+        assert_eq!(c.krate.as_deref(), Some("core"));
+        assert_eq!(c.kind, FileKind::Lib);
+        assert!(fixture_directive("fn f() {}").is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! CLI for the lintkit static pass.
+//!
+//! ```text
+//! cargo run -p lintkit -- --workspace          # lint the whole repo
+//! cargo run -p lintkit -- path/to/file.rs ...  # lint specific files
+//! cargo run -p lintkit -- --list-rules         # print the catalog
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any non-allowed diagnostic was
+//! produced, 2 on usage or I/O errors.
+
+use lintkit::{catalog, find_workspace_root, lint_file, lint_workspace, RunReport};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lintkit [--workspace] [--root <dir>] [--list-rules] [files...]\n\
+         \n\
+         --workspace    lint every workspace .rs file (skips target/, fixtures/)\n\
+         --root <dir>   workspace root (default: auto-detected)\n\
+         --list-rules   print the rule catalog and exit"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if other.starts_with('-') => return usage(),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+
+    if list_rules {
+        println!("lintkit rule catalog:");
+        for rule in catalog() {
+            println!("  {:<20} {}", rule.name, rule.summary);
+        }
+        println!("\nsuppress a hit with `// lint:allow(<rule>)` on the same line");
+        println!("(or standalone on the line above), plus a justification.");
+        return ExitCode::SUCCESS;
+    }
+    if !workspace && files.is_empty() {
+        return usage();
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match root.or_else(|| find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("lintkit: cannot locate workspace root (try --root <dir>)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = RunReport::default();
+    if workspace {
+        match lint_workspace(&root) {
+            Ok(r) => report = r,
+            Err(e) => {
+                eprintln!("lintkit: workspace walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for file in &files {
+        let path: &Path = file.as_ref();
+        match lint_file(&root, path) {
+            Ok(r) => {
+                report.diagnostics.extend(r.diagnostics);
+                report.allowed += r.allowed;
+                report.files += r.files;
+            }
+            Err(e) => {
+                eprintln!("lintkit: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    if report.is_clean() {
+        println!(
+            "lintkit: clean — {} file(s) scanned, {} hit(s) allowed by pragma",
+            report.files, report.allowed
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "lintkit: {} diagnostic(s) in {} file(s) ({} allowed by pragma)",
+            report.diagnostics.len(),
+            report.files,
+            report.allowed
+        );
+        ExitCode::FAILURE
+    }
+}

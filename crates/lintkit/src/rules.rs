@@ -1,0 +1,328 @@
+//! The lint catalog: rule definitions and token-needle matching.
+//!
+//! Each rule is a set of token-sequence *needles* plus an applicability
+//! predicate over the [`FileCtx`]. Needles are matched against the
+//! comment/string-free token stream from [`crate::lexer`], so a rule hit
+//! always corresponds to real code.
+//!
+//! The catalog encodes this repository's determinism contract (see
+//! DESIGN.md §5c): simulated components must take time from `Sim`,
+//! randomness from `simkit::rng::DetRng`, and must iterate ordered
+//! collections, so that two runs with the same seed produce
+//! byte-identical snapshots, traces and `FailoverReport`s.
+
+use crate::{FileCtx, FileKind};
+use crate::lexer::{Tok, TokKind};
+
+/// Sim-visible crates: their library code feeds snapshots/reports, so
+/// iteration order and time sources are part of the determinism contract.
+const SIM_VISIBLE: &[&str] = &["simkit", "radio", "smartmsg", "fuego", "core"];
+
+/// Crates whose library code must propagate errors instead of panicking.
+const NO_PANIC: &[&str] = &["core", "fuego", "smartmsg", "radio"];
+
+/// One element of a needle pattern.
+#[derive(Clone, Copy, Debug)]
+pub enum Matcher {
+    /// Exact identifier.
+    Ident(&'static str),
+    /// Exact punctuation (`"::"`, `"."`, `"!"`, `"("`, `")"`).
+    Punct(&'static str),
+}
+
+impl Matcher {
+    fn matches(&self, tok: &Tok) -> bool {
+        match self {
+            Matcher::Ident(name) => tok.is_ident(name),
+            Matcher::Punct(p) => tok.is_punct(p),
+        }
+    }
+}
+
+/// A token sequence to search for, with the message reported on a hit.
+pub struct Needle {
+    /// The token pattern.
+    pub pat: &'static [Matcher],
+    /// Human-readable diagnostic message.
+    pub msg: &'static str,
+}
+
+/// A lint rule: a named needle set plus an applicability predicate.
+pub struct Rule {
+    /// Stable rule name (what `lint:allow(...)` refers to).
+    pub name: &'static str,
+    /// One-line description for `--list-rules` and docs.
+    pub summary: &'static str,
+    /// Needles that constitute a violation.
+    pub needles: &'static [Needle],
+    /// Whether the rule applies to a file context. Code inside
+    /// `#[cfg(test)]` regions is re-checked with `kind == Test`.
+    pub applies: fn(&FileCtx) -> bool,
+}
+
+use Matcher::{Ident as I, Punct as P};
+
+const WALLCLOCK_NEEDLES: &[Needle] = &[
+    Needle {
+        pat: &[I("Instant"), P("::"), I("now")],
+        msg: "wall-clock read (`Instant::now`): simulated code must take time from `Sim::now()`",
+    },
+    Needle {
+        pat: &[I("SystemTime"), P("::"), I("now")],
+        msg: "wall-clock read (`SystemTime::now`): simulated code must take time from `Sim::now()`",
+    },
+    Needle {
+        pat: &[I("thread"), P("::"), I("sleep")],
+        msg: "real sleep (`thread::sleep`): schedule on the `Sim` event queue instead",
+    },
+];
+
+const UNORDERED_NEEDLES: &[Needle] = &[
+    Needle {
+        pat: &[I("HashMap")],
+        msg: "`HashMap` in a sim-visible crate: iteration order is unspecified — use \
+              `BTreeMap` (or sort before iterating) so snapshots/reports are seed-stable",
+    },
+    Needle {
+        pat: &[I("HashSet")],
+        msg: "`HashSet` in a sim-visible crate: iteration order is unspecified — use \
+              `BTreeSet` (or sort before iterating) so snapshots/reports are seed-stable",
+    },
+];
+
+const AMBIENT_RNG_NEEDLES: &[Needle] = &[
+    Needle {
+        pat: &[I("RandomState")],
+        msg: "ambient randomness (`RandomState` seeds from the OS): derive a `DetRng` \
+              from the scenario seed instead",
+    },
+    Needle {
+        pat: &[I("thread_rng")],
+        msg: "ambient randomness (`thread_rng`): derive a `DetRng` from the scenario seed",
+    },
+    Needle {
+        pat: &[I("from_entropy")],
+        msg: "ambient randomness (`from_entropy`): derive a `DetRng` from the scenario seed",
+    },
+    Needle {
+        pat: &[I("OsRng")],
+        msg: "ambient randomness (`OsRng`): derive a `DetRng` from the scenario seed",
+    },
+    Needle {
+        pat: &[I("getrandom")],
+        msg: "ambient randomness (`getrandom`): derive a `DetRng` from the scenario seed",
+    },
+    Needle {
+        pat: &[I("rand"), P("::"), I("random")],
+        msg: "ambient randomness (`rand::random`): derive a `DetRng` from the scenario seed",
+    },
+];
+
+const UNWRAP_NEEDLES: &[Needle] = &[
+    Needle {
+        pat: &[P("."), I("unwrap"), P("("), P(")")],
+        msg: "`unwrap()` in library code: propagate a `ContoryError` (or the crate's \
+              error type) instead of panicking the middleware",
+    },
+    Needle {
+        pat: &[P("."), I("expect"), P("(")],
+        msg: "`expect()` in library code: propagate a `ContoryError` (or the crate's \
+              error type) instead of panicking the middleware",
+    },
+    Needle {
+        pat: &[I("panic"), P("!")],
+        msg: "`panic!` in library code: return an error instead of aborting provisioning",
+    },
+];
+
+const PRINT_NEEDLES: &[Needle] = &[
+    Needle {
+        pat: &[I("println"), P("!")],
+        msg: "`println!` in library code: return data to the caller (bench bins own stdout)",
+    },
+    Needle {
+        pat: &[I("print"), P("!")],
+        msg: "`print!` in library code: return data to the caller (bench bins own stdout)",
+    },
+    Needle {
+        pat: &[I("eprintln"), P("!")],
+        msg: "`eprintln!` in library code: surface errors through the error type",
+    },
+    Needle {
+        pat: &[I("eprint"), P("!")],
+        msg: "`eprint!` in library code: surface errors through the error type",
+    },
+    Needle {
+        pat: &[I("dbg"), P("!")],
+        msg: "`dbg!` left in library code",
+    },
+];
+
+const EXIT_NEEDLES: &[Needle] = &[Needle {
+    pat: &[I("process"), P("::"), I("exit")],
+    msg: "`process::exit` outside a bin target: skips destructors and kills the host \
+          process — return a `Result` and let `main` decide",
+}];
+
+fn crate_in(ctx: &FileCtx, list: &[&str]) -> bool {
+    ctx.krate.as_deref().is_some_and(|k| list.contains(&k))
+}
+
+fn applies_wallclock(ctx: &FileCtx) -> bool {
+    // `crit` is the sanctioned wall-clock shim (the vendored criterion
+    // stand-in *measures* real time by design).
+    ctx.krate.as_deref() != Some("crit")
+}
+
+fn applies_unordered(ctx: &FileCtx) -> bool {
+    ctx.kind == FileKind::Lib && crate_in(ctx, SIM_VISIBLE)
+}
+
+fn applies_ambient_rng(_ctx: &FileCtx) -> bool {
+    true
+}
+
+fn applies_unwrap(ctx: &FileCtx) -> bool {
+    ctx.kind == FileKind::Lib && crate_in(ctx, NO_PANIC)
+}
+
+fn applies_print(ctx: &FileCtx) -> bool {
+    ctx.kind == FileKind::Lib
+}
+
+fn applies_exit(ctx: &FileCtx) -> bool {
+    !matches!(ctx.kind, FileKind::Bin | FileKind::Example)
+}
+
+/// The rule catalog, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "wallclock-ban",
+        summary: "no Instant::now / SystemTime::now / thread::sleep outside the crit shim",
+        needles: WALLCLOCK_NEEDLES,
+        applies: applies_wallclock,
+    },
+    Rule {
+        name: "unordered-iter",
+        summary: "no HashMap/HashSet in sim-visible library code (seed-stable iteration)",
+        needles: UNORDERED_NEEDLES,
+        applies: applies_unordered,
+    },
+    Rule {
+        name: "ambient-rng",
+        summary: "no OS-seeded randomness anywhere; all entropy flows from simkit::rng",
+        needles: AMBIENT_RNG_NEEDLES,
+        applies: applies_ambient_rng,
+    },
+    Rule {
+        name: "no-unwrap-in-core",
+        summary: "no unwrap/expect/panic! in core/fuego/smartmsg/radio library code",
+        needles: UNWRAP_NEEDLES,
+        applies: applies_unwrap,
+    },
+    Rule {
+        name: "no-print-in-lib",
+        summary: "no println!/eprintln!/dbg! in library code (bins and benches exempt)",
+        needles: PRINT_NEEDLES,
+        applies: applies_print,
+    },
+    Rule {
+        name: "no-exit",
+        summary: "no process::exit outside bin targets and examples",
+        needles: EXIT_NEEDLES,
+        applies: applies_exit,
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Returns the indices (into `tokens`) where `needle` matches.
+pub fn find_matches(tokens: &[Tok], needle: &Needle) -> Vec<usize> {
+    let pat = needle.pat;
+    if pat.is_empty() || tokens.len() < pat.len() {
+        return Vec::new();
+    }
+    let mut hits = Vec::new();
+    'outer: for start in 0..=(tokens.len() - pat.len()) {
+        for (m, tok) in pat.iter().zip(&tokens[start..]) {
+            if !m.matches(tok) {
+                continue 'outer;
+            }
+        }
+        // Reject partial-identifier illusions: a single-ident needle like
+        // `HashMap` is already exact (the lexer tokenizes maximal idents),
+        // so nothing extra is needed here.
+        hits.push(start);
+    }
+    hits
+}
+
+/// Computes, per token index, whether it falls inside a `#[cfg(test)]`
+/// item body. Such regions are re-classified as [`FileKind::Test`] when
+/// evaluating rule applicability.
+pub fn cfg_test_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    // armed: Some(attr_depth) once `#[cfg(test)]` was seen and we are
+    // waiting for the item's opening brace at the same nesting depth.
+    let mut armed: Option<i32> = None;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("#")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct("("))
+            && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && tokens.get(i + 5).is_some_and(|t| t.is_punct(")"))
+            && tokens.get(i + 6).is_some_and(|t| t.is_punct("]"))
+        {
+            armed = Some(depth);
+            i += 7;
+            continue;
+        }
+        match t.text.as_str() {
+            "{" if t.kind == TokKind::Punct => {
+                if armed == Some(depth) {
+                    armed = None;
+                    // Scan forward for the matching close brace.
+                    let start = i;
+                    let mut d = 0i32;
+                    let mut j = i;
+                    while j < tokens.len() {
+                        let u = &tokens[j];
+                        if u.kind == TokKind::Punct {
+                            if u.text == "{" {
+                                d += 1;
+                            } else if u.text == "}" {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                    regions.push((start, j.min(tokens.len().saturating_sub(1))));
+                }
+                depth += 1;
+            }
+            "}" if t.kind == TokKind::Punct => {
+                depth -= 1;
+            }
+            ";" if t.kind == TokKind::Punct => {
+                // `#[cfg(test)] use …;` — attribute applied to a
+                // braceless item at this depth: disarm.
+                if armed == Some(depth) {
+                    armed = None;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    regions
+}

@@ -1,0 +1,121 @@
+//! Golden-file fixture suite: every rule has a fixture under
+//! `tests/fixtures/` whose expected diagnostics live next to it in a
+//! `.expected` file (`line:col rule` per line).
+//!
+//! Regenerate goldens after an intentional rule change with
+//! `LINTKIT_BLESS=1 cargo test -p lintkit --test fixtures`.
+
+use lintkit::{lint_file, rules::RULES};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn rendered_diags(path: &Path) -> (String, BTreeSet<&'static str>) {
+    let root = fixtures_dir();
+    let report = lint_file(&root, path).expect("fixture readable");
+    let mut rules_hit = BTreeSet::new();
+    let mut lines = Vec::new();
+    for d in &report.diagnostics {
+        rules_hit.insert(d.rule);
+        lines.push(format!("{}:{} {}", d.line, d.col, d.rule));
+    }
+    assert!(
+        report.allowed > 0,
+        "{}: every fixture demonstrates at least one allow pragma",
+        path.display()
+    );
+    (lines.join("\n") + "\n", rules_hit)
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    let bless = std::env::var_os("LINTKIT_BLESS").is_some();
+    let mut all_rules_hit: BTreeSet<&'static str> = BTreeSet::new();
+    let files = fixture_files();
+    assert!(
+        files.len() >= RULES.len(),
+        "need at least one fixture per rule ({} rules, {} fixtures)",
+        RULES.len(),
+        files.len()
+    );
+    for fixture in files {
+        let (got, rules_hit) = rendered_diags(&fixture);
+        assert!(
+            got.trim() != "",
+            "{}: fixture produced no diagnostics",
+            fixture.display()
+        );
+        all_rules_hit.extend(rules_hit);
+        let golden_path = fixture.with_extension("expected");
+        if bless {
+            std::fs::write(&golden_path, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "{}: missing golden (run with LINTKIT_BLESS=1 to create)",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            got,
+            want,
+            "{}: diagnostics diverged from golden {}",
+            fixture.display(),
+            golden_path.display()
+        );
+    }
+    // The suite must cover the whole catalog.
+    let catalog: BTreeSet<&'static str> = RULES.iter().map(|r| r.name).collect();
+    assert_eq!(
+        all_rules_hit, catalog,
+        "every rule in the catalog needs a firing fixture"
+    );
+}
+
+/// Acceptance check: the *CLI* exits non-zero with `file:line:col`
+/// diagnostics when pointed at a violating fixture, and zero on a
+/// clean file.
+#[test]
+fn cli_exits_nonzero_on_fixture_violations() {
+    let exe = env!("CARGO_BIN_EXE_lintkit");
+    for fixture in fixture_files() {
+        let out = std::process::Command::new(exe)
+            .arg("--root")
+            .arg(fixtures_dir())
+            .arg(&fixture)
+            .output()
+            .expect("spawn lintkit CLI");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{}: CLI should exit 1 on violations",
+            fixture.display()
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let golden = std::fs::read_to_string(fixture.with_extension("expected"))
+            .expect("golden exists");
+        if let Some(first) = golden.lines().next() {
+            let (linecol, rule) = first.split_once(' ').expect("golden line format");
+            let needle = format!(":{linecol}: error[{rule}]");
+            assert!(
+                stdout.contains(&needle),
+                "{}: CLI output missing `{needle}`\n--- stdout ---\n{stdout}",
+                fixture.display()
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+// lint-fixture: crate=bench kind=bin
+//! Fixture: ambient-rng. OS-seeded entropy is banned *everywhere*,
+//! even in bin targets — all randomness must flow from `simkit::rng`.
+
+use std::collections::hash_map::RandomState;
+
+fn bad_hasher() -> RandomState {
+    RandomState::new()
+}
+
+fn bad_thread_rng() {
+    let _rng = thread_rng();
+}
+
+fn bad_seeding() {
+    let _rng = SmallRng::from_entropy();
+}
+
+fn bad_os_rng() {
+    let _ = OsRng;
+}
+
+fn bad_rand_random() -> f64 {
+    rand::random()
+}
+
+fn allowed_with_pragma() {
+    // lint:allow(ambient-rng) documenting the pragma syntax in the fixture
+    let _ = RandomState::new();
+}
+
+fn fine_det_rng(seed: u64) -> simkit::DetRng {
+    // The sanctioned source: seed-derived, replayable.
+    simkit::DetRng::new(seed)
+}

@@ -1,0 +1,22 @@
+// lint-fixture: crate=smartmsg kind=lib
+//! Fixture: no-exit. `process::exit` skips destructors (unflushed
+//! traces, half-written reports) and kills the host process; only bin
+//! targets may decide to exit.
+
+fn bad_exit() {
+    std::process::exit(1);
+}
+
+fn bad_exit_imported() {
+    use std::process;
+    process::exit(2);
+}
+
+fn fine_result() -> Result<(), String> {
+    // Library code signals failure through its return type.
+    Err("let main decide".into())
+}
+
+fn allowed_with_pragma() {
+    std::process::exit(3); // lint:allow(no-exit) documented guard for a fatal double-borrow
+}

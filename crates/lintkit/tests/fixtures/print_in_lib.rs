@@ -1,0 +1,45 @@
+// lint-fixture: crate=sailing kind=lib
+//! Fixture: no-print-in-lib. Library code returns data; bench bins own
+//! stdout.
+
+fn bad_println(total: u64) {
+    println!("total = {total}");
+}
+
+fn bad_print() {
+    print!("partial");
+}
+
+fn bad_eprintln(err: &str) {
+    eprintln!("error: {err}");
+}
+
+fn bad_eprint(err: &str) {
+    eprint!("{err}");
+}
+
+fn bad_dbg(x: u32) -> u32 {
+    dbg!(x)
+}
+
+fn allowed_with_pragma(report: &str) {
+    println!("{report}"); // lint:allow(no-print-in-lib) designated report renderer
+}
+
+fn fine_format(total: u64) -> String {
+    // Returning a rendered string is fine — the caller decides the sink.
+    format!("total = {total}")
+}
+
+fn fine_writeln(out: &mut String, total: u64) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "total = {total}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("debugging a test is fine");
+    }
+}

@@ -1,0 +1,35 @@
+// lint-fixture: crate=core kind=lib
+//! Fixture: unordered-iter. Sim-visible library code must iterate
+//! ordered collections so snapshots are seed-stable.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+struct Snapshot {
+    rows: HashMap<String, u64>,
+    seen: HashSet<u64>,
+}
+
+// BTree collections are the sanctioned replacements.
+use std::collections::{BTreeMap, BTreeSet};
+
+struct OrderedSnapshot {
+    rows: BTreeMap<String, u64>,
+    seen: BTreeSet<u64>,
+}
+
+// An allow pragma (e.g. for a map that is never iterated) suppresses:
+struct Cache {
+    // lint:allow(unordered-iter) keyed lookups only, never iterated
+    slots: HashMap<u64, String>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code is exempt.
+    use std::collections::HashMap;
+
+    fn scratch() -> HashMap<u32, u32> {
+        HashMap::new()
+    }
+}

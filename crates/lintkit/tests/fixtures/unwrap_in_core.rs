@@ -1,0 +1,42 @@
+// lint-fixture: crate=core kind=lib
+//! Fixture: no-unwrap-in-core. Middleware library code propagates
+//! `ContoryError` instead of panicking.
+
+fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("value present")
+}
+
+fn bad_panic() {
+    panic!("unrecoverable");
+}
+
+fn fine_fallbacks(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) + v.unwrap_or_else(|| 1) + v.unwrap_or_default()
+}
+
+fn fine_propagation(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+fn allowed_invariant(v: Option<u32>) -> u32 {
+    v.expect("set in constructor") // lint:allow(no-unwrap-in-core) construction invariant
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may unwrap freely.
+    #[test]
+    fn unwraps_are_fine_here() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, ()> = Ok(4);
+        r.expect("ok");
+        if false {
+            panic!("test-only panic");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+// lint-fixture: crate=radio kind=lib
+//! Fixture: wallclock-ban. Simulated code must take time from `Sim`.
+
+fn bad_instant() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+
+fn bad_system_time() {
+    let _ = std::time::SystemTime::now();
+}
+
+fn bad_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+
+fn allowed_with_pragma() {
+    let _ = std::time::Instant::now(); // lint:allow(wallclock-ban) calibration probe
+}
+
+fn fine_sim_time(sim: &simkit::Sim) -> simkit::SimTime {
+    // The sanctioned clock.
+    sim.now()
+}
+
+// A doc example must never fire:
+/// let t = Instant::now();
+fn doc_example_is_ignored() {}
+
+fn string_literal_is_ignored() -> &'static str {
+    "Instant::now and thread::sleep in a string"
+}

@@ -1,0 +1,33 @@
+//! Tier-1 determinism gate: the whole workspace must be lint-clean.
+//!
+//! This is the same check as `cargo run -p lintkit -- --workspace`
+//! (and the `==> lintkit gate` step of `scripts/verify.sh`), wired into
+//! `cargo test` so no PR can land code that breaks the determinism
+//! contract without either fixing it or leaving an auditable
+//! `lint:allow` pragma.
+
+use lintkit::{find_workspace_root, lint_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root (Cargo.toml + crates/) not found");
+    let report = lint_workspace(&root).expect("workspace walk");
+    assert!(
+        report.files > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files
+    );
+    if !report.is_clean() {
+        let mut msg = String::new();
+        for d in &report.diagnostics {
+            msg.push_str(&format!("{d}\n"));
+        }
+        panic!(
+            "lintkit gate: {} violation(s) in the workspace\n{msg}\
+             fix the code or add `// lint:allow(<rule>)` with a justification",
+            report.diagnostics.len()
+        );
+    }
+}

@@ -25,7 +25,7 @@ use phone::{Consumer, Milliwatts, Phone, PowerModel};
 use simkit::{DetRng, Sim, SimDuration, SimTime};
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
@@ -198,7 +198,7 @@ struct RadioState {
     inquiring: bool,
     sdp_busy: bool,
     // link id -> peer
-    links: HashMap<LinkId, NodeId>,
+    links: BTreeMap<LinkId, NodeId>,
     tx_active_until: SimTime,
     rx_active_until: SimTime,
     on_receive: Option<ReceiveHandler>,
@@ -241,7 +241,7 @@ struct MediumInner {
     sim: Sim,
     world: World,
     params: BtParams,
-    radios: HashMap<NodeId, Rc<RefCell<RadioState>>>,
+    radios: BTreeMap<NodeId, Rc<RefCell<RadioState>>>,
     next_link: u64,
 }
 
@@ -259,7 +259,7 @@ impl BtMedium {
                 sim: sim.clone(),
                 world: world.clone(),
                 params,
-                radios: HashMap::new(),
+                radios: BTreeMap::new(),
                 next_link: 0,
             })),
         }
@@ -279,7 +279,7 @@ impl BtMedium {
             services: Vec::new(),
             inquiring: false,
             sdp_busy: false,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             tx_active_until: SimTime::ZERO,
             rx_active_until: SimTime::ZERO,
             on_receive: None,
@@ -369,7 +369,9 @@ impl BtRadio {
     fn state(&self) -> Rc<RefCell<RadioState>> {
         self.medium
             .state_of(self.node)
-            .expect("radio detached from medium")
+            // Attach is the only constructor, radios are never detached:
+            // an absent entry is unreachable by construction.
+            .expect("radio detached from medium") // lint:allow(no-unwrap-in-core) attach-time invariant
     }
 
     /// Recomputes this radio's draw and pokes the phone's power model.

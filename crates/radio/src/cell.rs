@@ -21,7 +21,7 @@ use phone::{Consumer, Milliwatts, Phone, PowerModel};
 use simkit::{DetRng, Sim, SimDuration, SimTime};
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
@@ -159,7 +159,7 @@ impl ModemState {
 struct NetworkInner {
     sim: Sim,
     params: CellParams,
-    modems: HashMap<NodeId, Rc<RefCell<ModemState>>>,
+    modems: BTreeMap<NodeId, Rc<RefCell<ModemState>>>,
     uplink_handler: Option<UplinkHandler>,
     server_rng: DetRng,
 }
@@ -178,7 +178,7 @@ impl CellNetwork {
             inner: Rc::new(RefCell::new(NetworkInner {
                 sim: sim.clone(),
                 params,
-                modems: HashMap::new(),
+                modems: BTreeMap::new(),
                 uplink_handler: None,
                 server_rng: DetRng::new(seed),
             })),
@@ -306,7 +306,9 @@ impl CellModem {
     fn state(&self) -> Rc<RefCell<ModemState>> {
         self.network
             .state_of(self.node)
-            .expect("modem detached from network")
+            // Attach is the only constructor, modems are never detached:
+            // an absent entry is unreachable by construction.
+            .expect("modem detached from network") // lint:allow(no-unwrap-in-core) attach-time invariant
     }
 
     fn refresh_power(&self) {

@@ -17,7 +17,7 @@ use phone::{Consumer, Milliwatts, Phone, PowerModel};
 use simkit::{DetRng, Sim, SimDuration, SimTime};
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
@@ -105,7 +105,7 @@ struct MediumInner {
     sim: Sim,
     world: World,
     params: WifiParams,
-    radios: HashMap<NodeId, Rc<RefCell<RadioState>>>,
+    radios: BTreeMap<NodeId, Rc<RefCell<RadioState>>>,
 }
 
 /// The shared ad hoc WiFi medium.
@@ -122,7 +122,7 @@ impl WifiMedium {
                 sim: sim.clone(),
                 world: world.clone(),
                 params,
-                radios: HashMap::new(),
+                radios: BTreeMap::new(),
             })),
         }
     }
@@ -213,7 +213,9 @@ impl WifiRadio {
     fn state(&self) -> Rc<RefCell<RadioState>> {
         self.medium
             .state_of(self.node)
-            .expect("radio detached from medium")
+            // Attach is the only constructor, radios are never detached:
+            // an absent entry is unreachable by construction.
+            .expect("radio detached from medium") // lint:allow(no-unwrap-in-core) attach-time invariant
     }
 
     /// True if the radio is on, joined to the IBSS, and the phone is up.

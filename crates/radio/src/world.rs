@@ -102,8 +102,13 @@ impl Mobility {
             Mobility::Fixed(p) => *p,
             Mobility::Waypoints(points) => {
                 debug_assert!(!points.is_empty());
-                if t <= points[0].0 {
-                    return points[0].1;
+                let Some(&(first_t, first_p)) = points.first() else {
+                    // Degenerate empty waypoint list: hold the origin
+                    // rather than panicking inside the interpolator.
+                    return Position::ORIGIN;
+                };
+                if t <= first_t {
+                    return first_p;
                 }
                 for w in points.windows(2) {
                     let (t0, p0) = w[0];
@@ -118,7 +123,7 @@ impl Mobility {
                         return p0.lerp(p1, frac);
                     }
                 }
-                points.last().expect("nonempty").1
+                points.last().map_or(first_p, |w| w.1)
             }
         }
     }

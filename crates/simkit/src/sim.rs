@@ -12,7 +12,7 @@ use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -52,7 +52,7 @@ struct Inner {
     now: SimTime,
     next_seq: u64,
     queue: BinaryHeap<Entry>,
-    cancelled: HashSet<TimerId>,
+    cancelled: BTreeSet<TimerId>,
     processed: u64,
 }
 

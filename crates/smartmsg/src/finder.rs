@@ -20,7 +20,7 @@ use crate::tag::Tag;
 use radio::NodeId;
 use simkit::SimTime;
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -123,7 +123,7 @@ enum Mode {
 pub struct Finder {
     spec: FinderSpec,
     mode: Mode,
-    visited: HashSet<NodeId>,
+    visited: BTreeSet<NodeId>,
     /// Path from origin to the current node (parents, excluding current).
     depth_path: Vec<NodeId>,
     /// Route being followed (origin-side copy), if any.
@@ -141,7 +141,7 @@ impl Finder {
         Finder {
             spec,
             mode: Mode::Explore,
-            visited: HashSet::new(),
+            visited: BTreeSet::new(),
             depth_path: Vec::new(),
             route: None,
             found_path: None,

@@ -11,7 +11,7 @@ use crate::tag::TagSpace;
 use radio::NodeId;
 use simkit::SimTime;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
@@ -97,7 +97,7 @@ pub struct SmContext<'a> {
     pub neighbors: Vec<NodeId>,
     /// The hosting node's content-route table: tag name → path of next
     /// hops from this node.
-    pub routes: &'a mut HashMap<String, Vec<NodeId>>,
+    pub routes: &'a mut BTreeMap<String, Vec<NodeId>>,
     /// If the previous action was a `Migrate` that failed, the target that
     /// could not be reached; the program should pick an alternative.
     pub migration_failed: Option<NodeId>,

@@ -18,7 +18,7 @@ use radio::wifi::WifiRadio;
 use radio::NodeId;
 use simkit::{DetRng, Sim, SimDuration};
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -84,7 +84,7 @@ struct NodeState {
     wifi: WifiRadio,
     phone: Phone,
     tags: TagSpace,
-    routes: HashMap<String, Vec<NodeId>>,
+    routes: BTreeMap<String, Vec<NodeId>>,
     code_cache: VecDeque<&'static str>,
     resident: u32,
     rng: DetRng,
@@ -109,7 +109,7 @@ impl NodeState {
 struct PlatformInner {
     sim: Sim,
     params: SmParams,
-    nodes: HashMap<NodeId, Rc<RefCell<NodeState>>>,
+    nodes: BTreeMap<NodeId, Rc<RefCell<NodeState>>>,
     next_sm: u64,
 }
 
@@ -139,7 +139,7 @@ impl SmPlatform {
             inner: Rc::new(RefCell::new(PlatformInner {
                 sim: sim.clone(),
                 params,
-                nodes: HashMap::new(),
+                nodes: BTreeMap::new(),
                 next_sm: 0,
             })),
         }
@@ -163,7 +163,7 @@ impl SmPlatform {
             wifi: wifi.clone(),
             phone: phone.clone(),
             tags,
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             code_cache: VecDeque::new(),
             resident: 0,
             rng: DetRng::new(seed),
@@ -481,7 +481,9 @@ impl SmNode {
     fn state(&self) -> Rc<RefCell<NodeState>> {
         self.platform
             .state_of(self.node)
-            .expect("SM runtime not installed")
+            // `install` is the only way to obtain an SmNode handle, so the
+            // platform map always holds this node.
+            .expect("SM runtime not installed") // lint:allow(no-unwrap-in-core) install-time invariant
     }
 
     /// Publishes a tag in the local tag space. Completion (a hashtable

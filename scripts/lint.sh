@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Convenience wrapper around the lintkit determinism/robustness pass.
+#
+#   ./scripts/lint.sh                # lint the whole workspace
+#   ./scripts/lint.sh --list-rules   # print the rule catalog
+#   ./scripts/lint.sh path/to/file.rs ...
+#
+# Exit codes follow lintkit: 0 clean, 1 diagnostics, 2 usage/IO error.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+    exec cargo run -q -p lintkit -- --workspace
+fi
+exec cargo run -q -p lintkit -- "$@"

@@ -6,9 +6,11 @@
 # 1. tier-1: release build + the whole workspace test suite
 #    (unit + per-crate integration + cross-crate integration +
 #    property tests);
-# 2. the failure-scenario suite in isolation — every scenario runs
+# 2. the lintkit gate: the offline determinism/robustness lint pass
+#    must report zero non-allowed diagnostics (DESIGN.md §5c);
+# 3. the failure-scenario suite in isolation — every scenario runs
 #    across the three fixed seeds baked into the suite (11, 22, 33);
-# 3. the Fig. 5 failover bench, which asserts the recovery SLO
+# 4. the Fig. 5 failover bench, which asserts the recovery SLO
 #    (worst provisioning gap <= 45 s) from the FailoverReport.
 set -eu
 cd "$(dirname "$0")/.."
@@ -18,6 +20,9 @@ cargo build --release
 
 echo "==> tier-1: cargo test -q (full workspace)"
 cargo test -q
+
+echo "==> lintkit gate (determinism & robustness lints)"
+cargo run -q --release -p lintkit -- --workspace
 
 echo "==> failure-scenario suite (seeds 11, 22, 33)"
 cargo test -q --test failover_scenarios
