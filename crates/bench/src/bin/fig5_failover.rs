@@ -19,6 +19,9 @@ use std::rc::Rc;
 
 fn main() {
     println!("Fig. 5 reproduction — Contory behaviour under a BT-GPS failure\n");
+    // Observability: collect metrics + spans for the whole scenario.
+    let obs = obskit::Obs::new();
+    let _obs_guard = obs.install();
     let tb = Testbed::with_seed(501);
     let phone = tb.add_phone(PhoneSetup {
         metered: false,
@@ -46,6 +49,12 @@ fn main() {
             true
         });
     }
+
+    // Resource gauges sampled on sim ticks for the metrics snapshot.
+    phone
+        .factory()
+        .monitor()
+        .start_sampling(&tb.sim, SimDuration::from_secs(10));
 
     let client = Rc::new(CollectingClient::new());
     let id = phone
@@ -149,4 +158,28 @@ fn main() {
         row.items_lost_estimate,
         injector.transitions_applied(),
     );
+
+    // Metrics snapshot alongside the FailoverReport: the same scenario
+    // seen through the obskit registry (counters, gauges, histograms).
+    println!("\nmetrics snapshot (obskit):");
+    println!("{}", obs.metrics_snapshot());
+    let failover_spans = obs
+        .spans()
+        .iter()
+        .filter(|s| s.phase == obskit::Phase::Failover && s.end.is_some())
+        .count();
+    println!(
+        "span log: {} spans total, {} closed blackout (failover) spans",
+        obs.span_count(),
+        failover_spans
+    );
+    assert!(
+        obs.counter("factory_mechanism_switches") >= 1,
+        "obskit saw the failover switch to ad hoc"
+    );
+    assert!(
+        obs.counter("factory_recoveries") >= 1,
+        "obskit saw the recovery switch back to the GPS"
+    );
+    assert!(failover_spans >= 1, "blackout span recorded for the GPS outage");
 }

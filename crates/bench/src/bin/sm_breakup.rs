@@ -154,5 +154,99 @@ fn main() {
         "route-build overhead:         {:.2}x the routed retrieval  (paper: ~2x)",
         cold.as_secs_f64() / warm.as_secs_f64()
     );
+
+    // ---- obs gate: span-measured break-up of a warm one-hop retrieval ----
+    //
+    // The same percentages, but *measured* from obskit spans recorded by
+    // the platform while a retrieval runs, rather than derived from the
+    // cost-model constants above. `scripts/verify.sh` runs this binary
+    // and relies on the assertions below.
+    println!("\nobs gate: span-measured break-up (one hop, warm code cache)");
+    {
+        let sim = Sim::new();
+        let world = World::new(&sim);
+        let wifi_medium = WifiMedium::new(&sim, &world, WifiParams::default());
+        let platform = SmPlatform::new(&sim, SmParams::default());
+        let mk = |x: f64, seed: u64| -> SmNode {
+            let id = world.add_node(Position::new(x, 0.0));
+            let phone = Phone::new(
+                &sim,
+                PhoneConfig {
+                    model: PhoneModel::Nokia9500,
+                    ..PhoneConfig::default()
+                },
+            );
+            let radio = wifi_medium.attach(id, &phone, seed);
+            radio.power_on(|| {});
+            platform.install(&radio, &phone, seed + 100)
+        };
+        let issuer = mk(0.0, 11);
+        let provider = mk(80.0, 12);
+        sim.run_for(SimDuration::from_secs(30));
+        provider.publish_tag_now(Tag::new(
+            "temperature",
+            TagValue::with_data("14.0C", Rc::new(14.0f64), 136),
+            sim.now(),
+        ));
+        let run = |issuer: &SmNode| {
+            let out: Rc<RefCell<Option<SmOutcome>>> = Rc::new(RefCell::new(None));
+            let o = out.clone();
+            issuer.inject(
+                Box::new(Finder::new(FinderSpec::first_match("temperature", 1))),
+                SimDuration::from_secs(120),
+                move |outcome| *o.borrow_mut() = Some(outcome),
+            );
+            while out.borrow().is_none() {
+                assert!(sim.step());
+            }
+            let results = out
+                .borrow()
+                .as_ref()
+                .unwrap()
+                .completed_as::<Vec<FinderResult>>()
+                .expect("completed");
+            assert_eq!(results.len(), 1);
+        };
+        // Warm-up pass (code cache + neighbour tables), unobserved.
+        run(&issuer);
+        sim.run_for(SimDuration::from_secs(5));
+        // Observed pass.
+        let obs = obskit::Obs::new();
+        let breakup = {
+            let _guard = obs.install();
+            run(&issuer);
+            let root = obs
+                .spans()
+                .into_iter()
+                .find(|s| s.phase == obskit::Phase::Migrate && s.label.starts_with("sm:"))
+                .expect("SM root span recorded");
+            obs.breakup_under(root.id)
+        };
+        println!("{}", breakup.table());
+        let bands: [(obskit::Phase, &str, f64, f64); 4] = [
+            (obskit::Phase::Connect, "connection establishment", 4.0, 5.0),
+            (obskit::Phase::Serialize, "serialization", 26.0, 33.0),
+            (obskit::Phase::ThreadSwitch, "thread switching", 12.0, 14.0),
+            (obskit::Phase::Transfer, "transfer time", 51.0, 54.0),
+        ];
+        const TOLERANCE_PP: f64 = 3.0;
+        for (phase, label, lo, hi) in bands {
+            let share = breakup.share_pct(phase);
+            let ok = share >= lo - TOLERANCE_PP && share <= hi + TOLERANCE_PP;
+            println!(
+                "  obs gate: {label:<24} {share:>5.1}%  (paper {lo:.0}-{hi:.0}%, \u{b1}{TOLERANCE_PP:.0}pp)  {}",
+                if ok { "OK" } else { "FAIL" }
+            );
+            assert!(
+                ok,
+                "{label} share {share:.1}% outside paper band {lo}-{hi}% \u{b1}{TOLERANCE_PP}pp"
+            );
+        }
+        println!(
+            "  obs gate: {} spans recorded, retrieval total {:.0} ms",
+            obs.span_count(),
+            breakup.total().as_millis_f64()
+        );
+    }
     let _ = SimTime::ZERO;
 }

@@ -45,6 +45,8 @@ impl CxtAggregator {
         if !items.iter().all(|i| i.cxt_type == first.cxt_type) {
             return None;
         }
+        obskit::count("aggregator_combines", 1);
+        obskit::count("aggregator_items_fused", items.len() as u64);
         match strategy {
             AggregationStrategy::MostRecent => {
                 items.iter().max_by_key(|i| i.timestamp).cloned()

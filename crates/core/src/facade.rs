@@ -107,6 +107,7 @@ impl Facade {
                         samples_left,
                     });
                     entry.provider.update_query(&merged);
+                    obskit::count("facade_merges", 1);
                     return Ok(());
                 }
             }
@@ -144,6 +145,7 @@ impl Facade {
         }
         // Start outside the borrow: a provider whose radio is already
         // down reports failure synchronously, which re-enters the facade.
+        obskit::count("facade_providers_started", 1);
         provider.start();
         Ok(())
     }
@@ -197,6 +199,8 @@ impl Facade {
             (inner.deliver.clone(), inner.member_done.clone())
         };
         for (id, batch) in deliveries {
+            obskit::count("facade_batches_routed", 1);
+            obskit::count("facade_items_routed", batch.len() as u64);
             deliver(id, batch);
         }
         for id in retired {

@@ -66,6 +66,16 @@ impl Mechanism {
             Mechanism::Infra => RefKind::Cell,
         }
     }
+
+    /// Stable snake_case key for metric names.
+    pub fn metric_key(self) -> &'static str {
+        match self {
+            Mechanism::IntSensor => "int_sensor",
+            Mechanism::AdHocBt => "adhoc_bt",
+            Mechanism::AdHocWifi => "adhoc_wifi",
+            Mechanism::Infra => "infra",
+        }
+    }
 }
 
 impl fmt::Display for Mechanism {
@@ -421,6 +431,16 @@ impl ContextFactory {
             inner.next_query += 1;
             QueryId(inner.next_query)
         };
+        obskit::count("factory_queries_submitted", 1);
+        {
+            let inner = self.inner.borrow();
+            obskit::event(
+                obskit::Phase::Dispatch,
+                &format!("submit:{id}:{}", query.select),
+                None,
+                inner.sim.now(),
+            );
+        }
         {
             let inner = self.inner.borrow();
             inner.manager.insert(
@@ -489,6 +509,7 @@ impl ContextFactory {
         if !self.inner.borrow().manager.contains(id) {
             return Err(ContoryError::UnknownQuery(id.0));
         }
+        obskit::count("factory_queries_cancelled", 1);
         self.finish_query(id);
         Ok(())
     }
@@ -659,6 +680,8 @@ impl ContextFactory {
             let inner = self.inner.borrow();
             inner.failover.assigned(id, mechanism, inner.sim.now());
         }
+        obskit::count("factory_assignments", 1);
+        obskit::count(&format!("factory_assigned_{}", mechanism.metric_key()), 1);
         facade.submit(id, query)?;
         Ok(mechanism)
     }
@@ -699,6 +722,13 @@ impl ContextFactory {
                 continue;
             }
             tracker.failure(id, mechanism, now);
+            obskit::count("factory_provider_failures", 1);
+            obskit::event(
+                obskit::Phase::Failover,
+                &format!("fail:{id}:{mechanism}"),
+                None,
+                now,
+            );
             // Same-mechanism retry with capped exponential backoff.
             let retry_delay = {
                 let mut guard = self.inner.borrow_mut();
@@ -717,6 +747,9 @@ impl ContextFactory {
             };
             if let Some(delay) = retry_delay {
                 tracker.retried(id);
+                obskit::count("factory_retries", 1);
+                obskit::observe("factory_retry_delay_us", delay.as_micros());
+                obskit::event(obskit::Phase::Retry, &format!("retry:{id}:{mechanism}"), None, now);
                 manager.inform_error(
                     id,
                     &format!(
@@ -738,6 +771,13 @@ impl ContextFactory {
             manager.inform_error(id, &format!("{mechanism} failed: {err}"));
             match self.assign(id) {
                 Ok(new_mechanism) => {
+                    obskit::count("factory_mechanism_switches", 1);
+                    obskit::event(
+                        obskit::Phase::Switch,
+                        &format!("switch:{id}:{mechanism}->{new_mechanism}"),
+                        None,
+                        now,
+                    );
                     manager.inform_error(
                         id,
                         &format!("switched provisioning to {new_mechanism}"),
@@ -783,9 +823,12 @@ impl ContextFactory {
         if long_running && matches!(e, ContoryError::AllMechanismsFailed { .. }) {
             manager.set_suspended(id, true);
             tracker.suspended(id, now);
+            obskit::count("factory_suspensions", 1);
+            obskit::event(obskit::Phase::Suspend, &format!("suspend:{id}"), None, now);
             manager.inform_error(id, &format!("query suspended: {e}"));
             self.schedule_recovery_probe(id);
         } else {
+            obskit::count("factory_terminations", 1);
             manager.inform_error(id, &format!("query terminated: {e}"));
             tracker.finished(id, now);
             self.inner.borrow_mut().terminations.insert(id, e);
@@ -897,6 +940,14 @@ impl ContextFactory {
                     // The assign may have cascaded into a re-suspension if
                     // the probed module flapped straight back down.
                     if !manager.is_suspended(id) {
+                        let now = factory.inner.borrow().sim.now();
+                        obskit::count("factory_recoveries", 1);
+                        obskit::event(
+                            obskit::Phase::Revive,
+                            &format!("revive:{id}:{m}"),
+                            None,
+                            now,
+                        );
                         manager.inform_error(id, &format!("recovered: back on {m}"));
                     }
                 }
@@ -977,6 +1028,7 @@ impl ContextFactory {
             let Some(current) = manager.mechanism_of(id) else {
                 return true;
             };
+            obskit::count("factory_watchdog_fires", 1);
             manager.inform_error(
                 id,
                 &format!("watchdog: no items for {k} periods on {current}"),

@@ -188,6 +188,10 @@ impl fmt::Display for FailoverReport {
 #[derive(Clone, Default)]
 pub struct FailoverTracker {
     inner: Rc<RefCell<BTreeMap<QueryId, QueryFailover>>>,
+    /// Open obskit blackout spans, one per query with an open gap. Span
+    /// ids are allocated in creation order, so per-seed runs produce
+    /// identical id sequences.
+    gap_spans: Rc<RefCell<BTreeMap<QueryId, obskit::SpanId>>>,
 }
 
 impl FailoverTracker {
@@ -230,20 +234,29 @@ impl FailoverTracker {
             q.items_delivered += items;
             q.last_activity = now;
         }
+        self.end_gap_span(id, now);
     }
 
     /// A failure was detected on `mechanism`: opens a blackout if none
     /// is already open.
     pub fn failure(&self, id: QueryId, mechanism: Mechanism, now: SimTime) {
-        let mut inner = self.inner.borrow_mut();
-        let q = inner
-            .entry(id)
-            .or_insert_with(|| QueryFailover::new(now, mechanism, None));
-        q.failures += 1;
-        q.first_failure_at.get_or_insert(now);
-        q.last_failure_at = Some(now);
-        if q.open_gap_since.is_none() {
-            q.open_gap_since = Some(now);
+        let opened = {
+            let mut inner = self.inner.borrow_mut();
+            let q = inner
+                .entry(id)
+                .or_insert_with(|| QueryFailover::new(now, mechanism, None));
+            q.failures += 1;
+            q.first_failure_at.get_or_insert(now);
+            q.last_failure_at = Some(now);
+            if q.open_gap_since.is_none() {
+                q.open_gap_since = Some(now);
+                true
+            } else {
+                false
+            }
+        };
+        if opened {
+            self.open_gap_span(id, now);
         }
     }
 
@@ -257,13 +270,23 @@ impl FailoverTracker {
     /// All mechanisms failed: the query is parked until a probe revives
     /// it. The blackout stays open.
     pub fn suspended(&self, id: QueryId, now: SimTime) {
-        if let Some(q) = self.inner.borrow_mut().get_mut(&id) {
+        let opened = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(q) = inner.get_mut(&id) else {
+                return;
+            };
             q.suspensions += 1;
             q.suspended = true;
             q.last_failure_at = Some(now);
             if q.open_gap_since.is_none() {
                 q.open_gap_since = Some(now);
+                true
+            } else {
+                false
             }
+        };
+        if opened {
+            self.open_gap_span(id, now);
         }
     }
 
@@ -274,6 +297,21 @@ impl FailoverTracker {
             q.close_gap(now);
             q.suspended = false;
         }
+        self.end_gap_span(id, now);
+    }
+
+    /// Opens the obskit blackout span for a query's provisioning gap.
+    fn open_gap_span(&self, id: QueryId, now: SimTime) {
+        if let Some(span) = obskit::start(obskit::Phase::Failover, &format!("gap:{id}"), None, now)
+        {
+            self.gap_spans.borrow_mut().insert(id, span);
+        }
+    }
+
+    /// Ends the blackout span, if one is open.
+    fn end_gap_span(&self, id: QueryId, now: SimTime) {
+        let span = self.gap_spans.borrow_mut().remove(&id);
+        obskit::end(span, now);
     }
 
     /// Most recent activity timestamp for the silence watchdog.

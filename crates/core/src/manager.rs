@@ -164,6 +164,8 @@ impl QueryManager {
                 None => return false,
             }
         };
+        obskit::count("manager_deliveries", 1);
+        obskit::count("manager_items_delivered", items.len() as u64);
         for item in items {
             client.receive_cxt_item(id, item);
         }

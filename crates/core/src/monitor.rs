@@ -11,7 +11,7 @@
 use crate::failover::{FailoverReport, FailoverTracker};
 use crate::policy::{RuleValue, SystemStatus};
 use crate::refs::RefKind;
-use simkit::SimTime;
+use simkit::{Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -134,10 +134,67 @@ impl ResourcesMonitor {
                 }
             }
         }
+        obskit::count("monitor_events", 1);
+        if let ResourceEvent::RefFailed { .. } = &event {
+            obskit::count("monitor_ref_failures", 1);
+        }
+        self.export_gauges();
         let listeners: Vec<Listener> = self.inner.borrow().listeners.clone();
         for l in listeners {
             l(&event);
         }
+    }
+
+    /// Publishes the monitor's resource view as obskit gauges (battery
+    /// level, memory utilization, per-module health and the query-load
+    /// status variables). No-op when no collector is installed.
+    pub fn export_gauges(&self) {
+        if !obskit::enabled() {
+            return;
+        }
+        let inner = self.inner.borrow();
+        if let Some(RuleValue::Text(level)) = inner.status.get("batteryLevel") {
+            let v = match level.as_str() {
+                "low" => 0.0,
+                "medium" => 1.0,
+                _ => 2.0,
+            };
+            obskit::gauge("monitor_battery_level", v);
+        }
+        for var in ["memoryUtilization", "activeQueries", "suspendedQueries"] {
+            if let Some(RuleValue::Number(n)) = inner.status.get(var) {
+                obskit::gauge(&format!("monitor_{var}"), *n);
+            }
+        }
+        for (kind, healthy) in &inner.ref_health {
+            let key = match kind {
+                RefKind::Internal => "internal",
+                RefKind::Bt => "bt",
+                RefKind::Wifi => "wifi",
+                RefKind::Cell => "cell",
+            };
+            obskit::gauge(
+                &format!("monitor_ref_healthy_{key}"),
+                if *healthy { 1.0 } else { 0.0 },
+            );
+        }
+    }
+
+    /// Samples the resource view into obskit gauges on every sim tick of
+    /// `period`, until the monitor is dropped. Also counts the ticks so
+    /// sampling cadence shows up in metrics snapshots.
+    pub fn start_sampling(&self, sim: &Sim, period: SimDuration) {
+        self.export_gauges();
+        let weak = Rc::downgrade(&self.inner);
+        sim.schedule_repeating(period, move || {
+            let Some(inner) = weak.upgrade() else {
+                return false;
+            };
+            let monitor = ResourcesMonitor { inner };
+            obskit::count("monitor_sample_ticks", 1);
+            monitor.export_gauges();
+            true
+        });
     }
 
     /// Registers a listener for every reported event.
@@ -156,8 +213,13 @@ impl ResourcesMonitor {
         self.inner.borrow().status.clone()
     }
 
-    /// Sets an arbitrary status variable (e.g. `activeQueries`).
+    /// Sets an arbitrary status variable (e.g. `activeQueries`). Numeric
+    /// variables are mirrored to obskit gauges immediately.
     pub fn set_status(&self, variable: impl Into<String>, value: RuleValue) {
+        let variable = variable.into();
+        if let RuleValue::Number(n) = &value {
+            obskit::gauge(&format!("monitor_{variable}"), *n);
+        }
         self.inner.borrow_mut().status.set(variable, value);
     }
 

@@ -146,6 +146,7 @@ impl AdHocCxtProvider {
             }
             inner.round_in_flight = true;
         }
+        obskit::count("provider_adhoc_rounds", 1);
         let spec = spec_from_query(&self.inner.borrow().query, self.flavor);
         let me = self.clone_handle();
         let cb = Box::new(move |result: Result<Vec<crate::item::CxtItem>, RefError>| {
@@ -159,6 +160,7 @@ impl AdHocCxtProvider {
                     me.handle_items(items);
                 }
                 Err(e) => {
+                    obskit::count("provider_adhoc_round_failures", 1);
                     let failures = {
                         let mut inner = me.inner.borrow_mut();
                         inner.consecutive_failures += 1;
@@ -214,6 +216,8 @@ impl AdHocCxtProvider {
             }
         };
         if !to_deliver.is_empty() {
+            obskit::count("provider_adhoc_deliveries", 1);
+            obskit::count("provider_adhoc_items", to_deliver.len() as u64);
             (self.sink)(to_deliver);
         }
     }

@@ -108,6 +108,8 @@ impl InfraCxtProvider {
             }
         };
         if !to_deliver.is_empty() {
+            obskit::count("provider_infra_deliveries", 1);
+            obskit::count("provider_infra_items", to_deliver.len() as u64);
             (self.sink)(to_deliver);
         }
     }
@@ -132,6 +134,7 @@ impl CxtProvider for InfraCxtProvider {
         };
         match mode {
             QueryMode::OnDemand => {
+                obskit::count("provider_infra_fetches", 1);
                 let me = self.clone_handle();
                 self.cell.fetch(
                     &spec,
@@ -146,6 +149,7 @@ impl CxtProvider for InfraCxtProvider {
                 );
             }
             QueryMode::Periodic(period) => {
+                obskit::count("provider_infra_subscribes", 1);
                 let me = self.clone_handle();
                 let handle = self.cell.subscribe(
                     &spec,
@@ -155,6 +159,7 @@ impl CxtProvider for InfraCxtProvider {
                 self.inner.borrow_mut().sub = Some(handle);
             }
             QueryMode::Event(_) => {
+                obskit::count("provider_infra_subscribes", 1);
                 let me = self.clone_handle();
                 let handle = self.cell.subscribe(
                     &spec,

@@ -117,6 +117,8 @@ impl LocalCxtProvider {
         };
         let _ = trigger;
         if !filtered.is_empty() {
+            obskit::count("provider_local_deliveries", 1);
+            obskit::count("provider_local_items", filtered.len() as u64);
             (self.sink)(filtered);
         }
     }
@@ -282,6 +284,7 @@ impl CxtProvider for LocalCxtProvider {
             inner.running = true;
         }
         let is_internal = matches!(self.inner.borrow().binding, Binding::Internal);
+        obskit::count("provider_local_starts", 1);
         if is_internal {
             self.start_internal();
         } else {

@@ -46,6 +46,10 @@ impl CxtPublisher {
         key: Option<String>,
         cb: Box<dyn FnOnce(Result<(), RefError>)>,
     ) {
+        obskit::count("publisher_publishes", 1);
+        if key.is_some() {
+            obskit::count("publisher_authenticated", 1);
+        }
         let (bt, wifi) = {
             let mut inner = self.inner.borrow_mut();
             inner
@@ -110,6 +114,7 @@ impl CxtPublisher {
 
     /// Withdraws a published item from every reference.
     pub fn unpublish(&self, cxt_type: &str) {
+        obskit::count("publisher_unpublishes", 1);
         let (bt, wifi) = {
             let mut inner = self.inner.borrow_mut();
             inner.published.remove(cxt_type);

@@ -79,6 +79,7 @@ struct BrokerInner {
 /// The event broker living on the fixed side of the cellular network.
 #[derive(Clone)]
 pub struct EventBroker {
+    sim: Sim,
     net: CellNetwork,
     inner: Rc<RefCell<BrokerInner>>,
 }
@@ -88,8 +89,9 @@ impl EventBroker {
     ///
     /// Only one broker may be attached per [`CellNetwork`] (it owns the
     /// uplink handler).
-    pub fn new(_sim: &Sim, net: &CellNetwork) -> Self {
+    pub fn new(sim: &Sim, net: &CellNetwork) -> Self {
         let broker = EventBroker {
+            sim: sim.clone(),
             net: net.clone(),
             inner: Rc::new(RefCell::new(BrokerInner {
                 subs: BTreeMap::new(),
@@ -147,9 +149,11 @@ impl EventBroker {
             let mut inner = self.inner.borrow_mut();
             if inner.outage {
                 inner.dropped += 1;
+                obskit::count("fuego_broker_dropped", 1);
                 return;
             }
             inner.published += 1;
+            obskit::count("fuego_broker_published", 1);
             inner
                 .subs
                 .get(&event.topic)
@@ -162,6 +166,13 @@ impl EventBroker {
                 event: event.clone(),
             };
             self.inner.borrow_mut().delivered += 1;
+            obskit::count("fuego_broker_deliveries", 1);
+            obskit::event(
+                obskit::Phase::Deliver,
+                &format!("fuego_fanout:{}->{node}", event.topic),
+                None,
+                self.sim.now(),
+            );
             let size = frame.wire_size();
             self.net.send_downlink(node, size, Rc::new(frame));
         }
@@ -187,6 +198,7 @@ impl EventBroker {
             let mut inner = self.inner.borrow_mut();
             if inner.outage {
                 inner.dropped += 1;
+                obskit::count("fuego_broker_dropped", 1);
                 return;
             }
         }
@@ -208,6 +220,13 @@ impl EventBroker {
                 inner.subs.retain(|_, v| !v.is_empty());
             }
             Frame::Request { topic, req, event } => {
+                obskit::count("fuego_broker_requests", 1);
+                obskit::event(
+                    obskit::Phase::Broker,
+                    &format!("fuego_dispatch:{topic}@{from}"),
+                    None,
+                    self.sim.now(),
+                );
                 let service = self.inner.borrow().services.get(&topic).cloned();
                 let response = service.and_then(|s| s(from, event));
                 let frame = Frame::Response {

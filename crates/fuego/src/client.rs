@@ -48,6 +48,8 @@ struct ClientInner {
     next_req: u64,
     pending: BTreeMap<u64, ResponseHandler>,
     subs: BTreeMap<SubId, DeliveryHandler>,
+    /// Open obskit spans for in-flight requests, keyed by request id.
+    req_spans: BTreeMap<u64, obskit::SpanId>,
 }
 
 /// A Fuego client bound to one phone's modem.
@@ -72,6 +74,7 @@ impl FuegoClient {
                 next_req: 0,
                 pending: BTreeMap::new(),
                 subs: BTreeMap::new(),
+                req_spans: BTreeMap::new(),
             })),
         };
         let c = client.clone();
@@ -93,8 +96,13 @@ impl FuegoClient {
     pub fn make_event(&self, topic: impl Into<String>, body: XmlElement) -> EventNotification {
         let mut inner = self.inner.borrow_mut();
         inner.next_event += 1;
-        EventNotification::new(topic, inner.sender.clone(), body, self.sim.now())
-            .with_id(inner.next_event)
+        let event = EventNotification::new(topic, inner.sender.clone(), body, self.sim.now())
+            .with_id(inner.next_event);
+        // Encoding cost accounting: the XML envelope's wire size is what
+        // the cellular legs pay for.
+        obskit::count("fuego_events_encoded", 1);
+        obskit::observe("fuego_event_bytes", event.wire_size() as u64);
+        event
     }
 
     /// Publishes an event. `cb` fires when the uplink transfer completes
@@ -104,9 +112,25 @@ impl FuegoClient {
         event: EventNotification,
         cb: impl FnOnce(Result<(), CellError>) + 'static,
     ) {
+        let topic = event.topic.clone();
         let frame = Frame::Publish { event };
         let size = frame.wire_size();
-        self.modem.send_event(size, Rc::new(frame), cb);
+        obskit::count("fuego_publishes", 1);
+        obskit::count("fuego_publish_bytes", size as u64);
+        let span = obskit::start(
+            obskit::Phase::Publish,
+            &format!("fuego_pub:{topic}"),
+            None,
+            self.sim.now(),
+        );
+        let sim = self.sim.clone();
+        self.modem.send_event(size, Rc::new(frame), move |res| {
+            obskit::end(span, sim.now());
+            if res.is_err() {
+                obskit::count("fuego_publish_failures", 1);
+            }
+            cb(res);
+        });
     }
 
     /// Subscribes to a topic; `handler` receives every delivery until
@@ -124,6 +148,7 @@ impl FuegoClient {
             inner.subs.insert(sub, Rc::new(handler));
             sub
         };
+        obskit::count("fuego_subscribes", 1);
         let frame = Frame::Subscribe {
             topic: topic.into(),
             sub,
@@ -135,6 +160,7 @@ impl FuegoClient {
 
     /// Cancels a subscription locally and at the broker.
     pub fn unsubscribe(&self, sub: SubId) {
+        obskit::count("fuego_unsubscribes", 1);
         self.inner.borrow_mut().subs.remove(&sub);
         let frame = Frame::Unsubscribe { sub };
         let size = frame.wire_size();
@@ -151,6 +177,7 @@ impl FuegoClient {
         timeout: SimDuration,
         cb: impl FnOnce(Result<EventNotification, RequestError>) + 'static,
     ) {
+        let topic = topic.into();
         let req = {
             let mut inner = self.inner.borrow_mut();
             inner.next_req += 1;
@@ -158,25 +185,44 @@ impl FuegoClient {
             inner.pending.insert(req, Box::new(cb));
             req
         };
-        let frame = Frame::Request {
-            topic: topic.into(),
-            req,
-            event,
-        };
+        obskit::count("fuego_requests", 1);
+        if let Some(span) = obskit::start(
+            obskit::Phase::Broker,
+            &format!("fuego_req:{topic}"),
+            None,
+            self.sim.now(),
+        ) {
+            self.inner.borrow_mut().req_spans.insert(req, span);
+        }
+        let frame = Frame::Request { topic, req, event };
         let size = frame.wire_size();
         // Timeout watchdog.
         {
             let inner = self.inner.clone();
+            let sim = self.sim.clone();
             self.sim.schedule_in(timeout, move || {
-                if let Some(cb) = inner.borrow_mut().pending.remove(&req) {
+                let (cb, span) = {
+                    let mut inner = inner.borrow_mut();
+                    (inner.pending.remove(&req), inner.req_spans.remove(&req))
+                };
+                obskit::end(span, sim.now());
+                if let Some(cb) = cb {
+                    obskit::count("fuego_request_timeouts", 1);
                     cb(Err(RequestError::Timeout));
                 }
             });
         }
         let inner = self.inner.clone();
+        let sim = self.sim.clone();
         self.modem.send_event(size, Rc::new(frame), move |res| {
             if let Err(e) = res {
-                if let Some(cb) = inner.borrow_mut().pending.remove(&req) {
+                let (cb, span) = {
+                    let mut inner = inner.borrow_mut();
+                    (inner.pending.remove(&req), inner.req_spans.remove(&req))
+                };
+                obskit::end(span, sim.now());
+                if let Some(cb) = cb {
+                    obskit::count("fuego_request_link_failures", 1);
                     cb(Err(RequestError::Link(e)));
                 }
             }
@@ -186,8 +232,13 @@ impl FuegoClient {
     fn handle_downlink(&self, frame: Frame) {
         match frame {
             Frame::Response { req, event } => {
-                let cb = self.inner.borrow_mut().pending.remove(&req);
+                let (cb, span) = {
+                    let mut inner = self.inner.borrow_mut();
+                    (inner.pending.remove(&req), inner.req_spans.remove(&req))
+                };
+                obskit::end(span, self.sim.now());
                 if let Some(cb) = cb {
+                    obskit::count("fuego_responses", 1);
                     match event {
                         Some(ev) => cb(Ok(ev)),
                         None => cb(Err(RequestError::NoService)),
@@ -197,6 +248,13 @@ impl FuegoClient {
             Frame::Deliver { sub, event } => {
                 let handler = self.inner.borrow().subs.get(&sub).cloned();
                 if let Some(h) = handler {
+                    obskit::count("fuego_deliveries", 1);
+                    obskit::event(
+                        obskit::Phase::Deliver,
+                        &format!("fuego_deliver:{}", event.topic),
+                        None,
+                        self.sim.now(),
+                    );
                     h(event);
                 }
             }

@@ -16,10 +16,10 @@ use crate::lexer::{Tok, TokKind};
 
 /// Sim-visible crates: their library code feeds snapshots/reports, so
 /// iteration order and time sources are part of the determinism contract.
-const SIM_VISIBLE: &[&str] = &["simkit", "radio", "smartmsg", "fuego", "core"];
+const SIM_VISIBLE: &[&str] = &["simkit", "radio", "smartmsg", "fuego", "core", "obskit"];
 
 /// Crates whose library code must propagate errors instead of panicking.
-const NO_PANIC: &[&str] = &["core", "fuego", "smartmsg", "radio"];
+const NO_PANIC: &[&str] = &["core", "fuego", "smartmsg", "radio", "obskit"];
 
 /// One element of a needle pattern.
 #[derive(Clone, Copy, Debug)]
@@ -216,7 +216,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "no-unwrap-in-core",
-        summary: "no unwrap/expect/panic! in core/fuego/smartmsg/radio library code",
+        summary: "no unwrap/expect/panic! in core/fuego/smartmsg/radio/obskit library code",
         needles: UNWRAP_NEEDLES,
         applies: applies_unwrap,
     },

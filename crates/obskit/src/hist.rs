@@ -1,0 +1,222 @@
+//! Log2-bucketed histograms.
+//!
+//! A [`Histogram`] summarizes a stream of `u64` observations (typically
+//! microseconds or bytes) into power-of-two buckets held in a
+//! [`BTreeMap`], so iteration order — and therefore every exporter that
+//! renders one — is deterministic. Buckets are cheap (at most 65) and
+//! merging two histograms is exact: merging is equivalent to having
+//! recorded both observation streams into one histogram.
+//!
+//! Quantiles are resolved to the *upper bound* of the bucket containing
+//! the requested rank, which makes `quantile(q)` monotonically
+//! non-decreasing in `q` — a property the proptest suite pins down.
+
+use std::collections::BTreeMap;
+
+/// Bucket index for a value: `0` maps to bucket 0, otherwise
+/// `64 - leading_zeros(v)`, i.e. bucket `b` covers `[2^(b-1), 2^b - 1]`.
+fn bucket_of(v: u64) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros()
+    }
+}
+
+/// Inclusive upper bound of bucket `b`.
+fn bucket_upper(b: u32) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A deterministic log2-bucketed histogram over `u64` observations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+    }
+
+    /// Folds another histogram into this one. Exact: the result is
+    /// indistinguishable from having recorded both streams here.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, n) in &other.buckets {
+            *self.buckets.entry(*b).or_insert(0) += n;
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the upper bound of the bucket holding the
+    /// observation of rank `ceil(q * count)` (clamped to `[1, count]`).
+    ///
+    /// Returns 0 when the histogram is empty. `q` is clamped to
+    /// `[0.0, 1.0]`; the result is monotonically non-decreasing in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(*b);
+            }
+        }
+        bucket_upper(64)
+    }
+
+    /// Ordered `(bucket_upper_bound, count)` pairs for exporters.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(b, n)| (bucket_upper(*b), *n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_tracks_stats() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(100);
+        h.record(7);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn empty_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_joint_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut joint = Histogram::new();
+        for v in [1u64, 5, 9, 1000] {
+            a.record(v);
+            joint.record(v);
+        }
+        for v in [0u64, 42, 1 << 40] {
+            b.record(v);
+            joint.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+    }
+
+    #[test]
+    fn quantile_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [2u64, 2, 8, 120, 4096] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            assert!(q >= last, "quantile not monotone at {i}");
+            last = q;
+        }
+        assert!(h.quantile(1.0) >= h.max());
+    }
+}

@@ -468,15 +468,24 @@ impl BtRadio {
             s.rng.gauss_duration(params.inquiry_mean, params.inquiry_std)
         };
         self.refresh_power();
+        obskit::count("bt_inquiries", 1);
+        let span = obskit::start(
+            obskit::Phase::Discovery,
+            &format!("bt_inquiry:{}", self.node),
+            None,
+            self.medium.sim().now(),
+        );
         let me = self.clone();
         self.medium.sim().schedule_in(dur, move || {
             me.state().borrow_mut().inquiring = false;
             me.refresh_power();
+            obskit::end(span, me.medium.sim().now());
             let found = if me.is_on() {
                 me.medium.discoverable_neighbors(me.node)
             } else {
                 Vec::new()
             };
+            obskit::count("bt_inquiry_found", found.len() as u64);
             cb(Ok(found));
         });
     }
@@ -501,6 +510,8 @@ impl BtRadio {
             s.rng
                 .gauss_duration(params.register_mean, params.register_std)
         };
+        obskit::count("bt_service_registrations", 1);
+        obskit::observe("bt_register_us", dur.as_micros());
         let me = self.clone();
         sim.schedule_in(dur, move || {
             let state = me.state();
@@ -551,10 +562,18 @@ impl BtRadio {
             s.rng.gauss_duration(params.sdp_mean, params.sdp_std)
         };
         self.refresh_power();
+        obskit::count("bt_sdp_queries", 1);
+        let span = obskit::start(
+            obskit::Phase::Sdp,
+            &format!("bt_sdp:{}->{}", self.node, peer),
+            None,
+            sim.now(),
+        );
         let me = self.clone();
         sim.schedule_in(dur, move || {
             me.state().borrow_mut().sdp_busy = false;
             me.refresh_power();
+            obskit::end(span, me.medium.sim().now());
             let result = if !me.is_on() {
                 Err(BtError::RadioOff)
             } else if !me.medium.in_range(me.node, peer) {
@@ -567,6 +586,9 @@ impl BtRadio {
                     _ => Err(BtError::PeerUnavailable(peer)),
                 }
             };
+            if result.is_err() {
+                obskit::count("bt_sdp_failures", 1);
+            }
             cb(result);
         });
     }
@@ -589,21 +611,33 @@ impl BtRadio {
             let mut s = state.borrow_mut();
             s.rng.gauss_duration(params.page_mean, params.page_std)
         };
+        obskit::count("bt_connects", 1);
+        let span = obskit::start(
+            obskit::Phase::Connect,
+            &format!("bt_page:{}->{}", self.node, peer),
+            None,
+            sim.now(),
+        );
         let me = self.clone();
         sim.schedule_in(dur, move || {
+            obskit::end(span, me.medium.sim().now());
             if !me.is_on() {
+                obskit::count("bt_connect_failures", 1);
                 cb(Err(BtError::RadioOff));
                 return;
             }
             if !me.medium.in_range(me.node, peer) {
+                obskit::count("bt_connect_failures", 1);
                 cb(Err(BtError::OutOfRange(peer)));
                 return;
             }
             let Some(peer_state) = me.medium.state_of(peer) else {
+                obskit::count("bt_connect_failures", 1);
                 cb(Err(BtError::PeerUnavailable(peer)));
                 return;
             };
             if !(peer_state.borrow().on && peer_state.borrow().phone.is_on()) {
+                obskit::count("bt_connect_failures", 1);
                 cb(Err(BtError::PeerUnavailable(peer)));
                 return;
             }
@@ -665,6 +699,16 @@ impl BtRadio {
             let nominal = params.send_base + params.per_packet * packets as u64;
             s.rng.jitter(nominal, 0.01)
         };
+        obskit::count("bt_sends", 1);
+        obskit::count("bt_tx_packets", packets as u64);
+        obskit::count("bt_tx_bytes", wire_bytes as u64);
+        obskit::observe("bt_send_us", latency.as_micros());
+        let span = obskit::start(
+            obskit::Phase::Transfer,
+            &format!("bt_send:{}->{}:{}B/{}pkt", self.node, peer, wire_bytes, packets),
+            None,
+            sim.now(),
+        );
         // Open the transmit active window now.
         let window = params.active_window_base + params.active_window_per_byte * wire_bytes as u64;
         {
@@ -679,12 +723,15 @@ impl BtRadio {
 
         let me = self.clone();
         sim.schedule_in(latency, move || {
+            obskit::end(span, me.medium.sim().now());
             if !me.medium.in_range(me.node, peer) {
+                obskit::count("bt_send_failures", 1);
                 me.teardown_link(link, peer);
                 cb(Err(BtError::OutOfRange(peer)));
                 return;
             }
             let Some(peer_state) = me.medium.state_of(peer) else {
+                obskit::count("bt_send_failures", 1);
                 cb(Err(BtError::PeerUnavailable(peer)));
                 return;
             };
@@ -692,6 +739,7 @@ impl BtRadio {
                 let mut p = peer_state.borrow_mut();
                 if !(p.on && p.phone.is_on()) || !p.links.contains_key(&link) {
                     drop(p);
+                    obskit::count("bt_send_failures", 1);
                     me.teardown_link(link, peer);
                     cb(Err(BtError::LinkClosed(link)));
                     return;

@@ -234,8 +234,18 @@ impl CellNetwork {
             );
             (inner.sim.clone(), lat)
         };
+        obskit::count("cell_downlinks", 1);
+        obskit::count("cell_downlink_bytes", wire_bytes as u64);
+        obskit::observe("cell_downlink_us", latency.as_micros());
+        let span = obskit::start(
+            obskit::Phase::Transfer,
+            &format!("cell_downlink:{node}:{wire_bytes}B"),
+            None,
+            sim.now(),
+        );
         let net = self.clone();
         sim.schedule_in(latency, move || {
+            obskit::end(span, net.sim().now());
             let Some(state) = net.state_of(node) else {
                 return;
             };
@@ -407,9 +417,16 @@ impl CellModem {
     }
 
     /// Opens (or extends) the DCH/FACH activity window around a transfer.
+    /// This is the RRC-like state transition the energy model hinges on:
+    /// DCH tail, then FACH tail, then idle.
     fn open_activity_window(&self) {
         let params = self.network.params();
         let now = self.network.sim().now();
+        let was_open = {
+            let state = self.state();
+            let s = state.borrow();
+            s.fach_until > now
+        };
         let (dch_until, fach_until) = {
             let state = self.state();
             let mut s = state.borrow_mut();
@@ -417,6 +434,24 @@ impl CellModem {
             s.fach_until = s.dch_until + params.fach_tail;
             (s.dch_until, s.fach_until)
         };
+        obskit::count(
+            if was_open {
+                "cell_rrc_extensions"
+            } else {
+                "cell_rrc_promotions"
+            },
+            1,
+        );
+        obskit::event(
+            obskit::Phase::Rrc,
+            &format!("dch:{}", self.node),
+            None,
+            now,
+        );
+        obskit::gauge(
+            "cell_rrc_tail_s",
+            fach_until.since(now).as_secs_f64(),
+        );
         self.refresh_power();
         self.refresh_power_at(dch_until);
         self.refresh_power_at(fach_until);
@@ -455,8 +490,18 @@ impl CellModem {
             )
         };
         self.refresh_power();
+        obskit::count("cell_uplinks", 1);
+        obskit::count("cell_uplink_bytes", wire_bytes as u64);
+        obskit::observe("cell_uplink_us", latency.as_micros());
+        let span = obskit::start(
+            obskit::Phase::Transfer,
+            &format!("cell_uplink:{}:{}B", self.node, wire_bytes),
+            None,
+            sim.now(),
+        );
         let me = self.clone();
         sim.schedule_in(latency, move || {
+            obskit::end(span, me.network.sim().now());
             {
                 let state = me.state();
                 let mut s = state.borrow_mut();
@@ -464,6 +509,7 @@ impl CellModem {
             }
             me.open_activity_window();
             if !me.is_on() {
+                obskit::count("cell_uplink_failures", 1);
                 cb(Err(CellError::Dropped));
                 return;
             }

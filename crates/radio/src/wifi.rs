@@ -251,7 +251,15 @@ impl WifiRadio {
             let mut s = state.borrow_mut();
             s.rng.jitter(params.join_duration, 0.1)
         };
+        obskit::count("wifi_power_ons", 1);
+        let span = obskit::start(
+            obskit::Phase::Connect,
+            &format!("wifi_join:{}", self.node),
+            None,
+            sim.now(),
+        );
         sim.schedule_in(join_jitter, move || {
+            obskit::end(span, me.medium.sim().now());
             let state = me.state();
             let mut s = state.borrow_mut();
             if s.on && s.phone.is_on() {
@@ -320,17 +328,30 @@ impl WifiRadio {
             let mut s = state.borrow_mut();
             s.rng.jitter(params.transfer_time(wire_bytes), 0.02)
         };
+        obskit::count("wifi_hops", 1);
+        obskit::count("wifi_tx_bytes", wire_bytes as u64);
+        obskit::observe("wifi_hop_us", latency.as_micros());
+        let span = obskit::start(
+            obskit::Phase::Transfer,
+            &format!("wifi_hop:{}->{}:{}B", self.node, dst, wire_bytes),
+            None,
+            sim.now(),
+        );
         let me = self.clone();
         sim.schedule_in(latency, move || {
+            obskit::end(span, me.medium.sim().now());
             if !me.is_joined() {
+                obskit::count("wifi_hop_failures", 1);
                 cb(Err(WifiError::RadioOff));
                 return;
             }
             if !me.medium.in_range(me.node, dst) {
+                obskit::count("wifi_hop_failures", 1);
                 cb(Err(WifiError::Unreachable(dst)));
                 return;
             }
             let Some(peer) = me.medium.state_of(dst) else {
+                obskit::count("wifi_hop_failures", 1);
                 cb(Err(WifiError::Unreachable(dst)));
                 return;
             };
@@ -338,6 +359,7 @@ impl WifiRadio {
                 let p = peer.borrow();
                 if !(p.on && p.joined && p.phone.is_on()) {
                     drop(p);
+                    obskit::count("wifi_hop_failures", 1);
                     cb(Err(WifiError::Unreachable(dst)));
                     return;
                 }

@@ -124,6 +124,9 @@ struct SmInstance {
     callback: Rc<RefCell<Option<Box<dyn FnOnce(SmOutcome)>>>>,
     /// Path the runtime replays for the `Return` action (outbound visits).
     path: Vec<NodeId>,
+    /// Root obskit span covering this SM's whole journey; per-hop
+    /// connect/serialize/transfer/thread-switch spans parent to it.
+    span: Option<obskit::SpanId>,
 }
 
 /// The Smart Messages platform for one simulated network.
@@ -303,24 +306,71 @@ impl SmPlatform {
         let wire = params.control_state_size
             + sm.program.data_size()
             + if code_needed { sm.program.code_size() } else { 0 };
+        let nominal = params.connect
+            + params.serialize_base
+            + params.serialize_per_byte * wire as u64
+            + params.transfer_base;
         let pre = {
             let mut st = from_state.borrow_mut();
-            let nominal = params.connect
-                + params.serialize_base
-                + params.serialize_per_byte * wire as u64
-                + params.transfer_base;
             st.rng.jitter(nominal, params.jitter)
         };
+        // Span attribution: the jittered pre-send cost is split over the
+        // connect and serialize components proportionally (the jitter is
+        // applied to their sum); the transfer span opens where the
+        // transfer_base share begins and closes when the WiFi hop
+        // delivers, so it covers TCP-stack overhead plus airtime — the
+        // paper's 51–54 % "transfer" attribution.
+        obskit::count("sm_migrations", 1);
+        obskit::count("sm_wire_bytes", wire as u64);
+        obskit::count(
+            if code_needed {
+                "sm_code_cache_misses"
+            } else {
+                "sm_code_cache_hits"
+            },
+            1,
+        );
+        let t0 = self.sim().now();
+        let scale = {
+            let nominal_us = nominal.as_micros();
+            let f = if nominal_us == 0 {
+                1.0
+            } else {
+                pre.as_micros() as f64 / nominal_us as f64
+            };
+            move |d: SimDuration| {
+                SimDuration::from_micros((d.as_micros() as f64 * f).round() as u64)
+            }
+        };
+        let connect_d = scale(params.connect);
+        let serialize_d = scale(params.serialize_base + params.serialize_per_byte * wire as u64);
+        let hop_label = format!("hop:{from}->{to}");
+        let c_span = obskit::start(obskit::Phase::Connect, &hop_label, sm.span, t0);
+        obskit::end(c_span, t0 + connect_d);
+        let s_span =
+            obskit::start(obskit::Phase::Serialize, &hop_label, sm.span, t0 + connect_d);
+        obskit::end(s_span, t0 + connect_d + serialize_d);
+        let t_span = obskit::start(
+            obskit::Phase::Transfer,
+            &hop_label,
+            sm.span,
+            t0 + connect_d + serialize_d,
+        );
         let wifi = from_state.borrow().wifi.clone();
         self.leave(from);
         let platform = self.clone();
         let sim = self.sim();
         sim.schedule_in(pre, move || {
             if sm.cancelled.get() {
+                obskit::end(t_span, platform.sim().now());
                 return;
             }
             let platform2 = platform.clone();
             wifi.send(to, wire, Rc::new(()), move |res| {
+                obskit::end(t_span, platform2.sim().now());
+                if res.is_err() {
+                    obskit::count("sm_migration_failures", 1);
+                }
                 match res {
                     Ok(()) => {
                         sm.hop_cnt += 1;
@@ -364,6 +414,13 @@ impl SmPlatform {
                 drop(st);
                 // Admission denied: bounce to where we came from, undoing
                 // the path mutation of this migration.
+                obskit::count("sm_admission_denied", 1);
+                obskit::event(
+                    obskit::Phase::Admission,
+                    &format!("deny:{to}"),
+                    sm.span,
+                    self.sim().now(),
+                );
                 if resume {
                     if sm.path.last() == Some(&from) {
                         sm.path.pop();
@@ -378,8 +435,17 @@ impl SmPlatform {
             st.resident += 1;
             st.cache_code(sm.program.code_name(), params.code_cache_capacity);
         }
+        obskit::count("sm_admitted", 1);
         let platform = self.clone();
         let dispatch = params.thread_switch;
+        let now = self.sim().now();
+        let ts_span = obskit::start(
+            obskit::Phase::ThreadSwitch,
+            &format!("dispatch:{to}"),
+            sm.span,
+            now,
+        );
+        obskit::end(ts_span, now + dispatch);
         self.sim().schedule_in(dispatch, move || {
             if resume {
                 platform.exec(sm, to);
@@ -408,8 +474,17 @@ impl SmPlatform {
         if let Some(st) = self.state_of(at) {
             st.borrow_mut().resident += 1;
         }
+        obskit::count("sm_bounces", 1);
         let platform = self.clone();
         let dispatch = self.params().thread_switch;
+        let now = self.sim().now();
+        let ts_span = obskit::start(
+            obskit::Phase::ThreadSwitch,
+            &format!("bounce:{at}"),
+            sm.span,
+            now,
+        );
+        obskit::end(ts_span, now + dispatch);
         self.sim().schedule_in(dispatch, move || {
             if resume {
                 platform.exec(sm, at);
@@ -435,6 +510,9 @@ impl SmPlatform {
             return;
         }
         sm.cancelled.set(true);
+        obskit::end(sm.span, self.sim().now());
+        obskit::count("sm_completed", 1);
+        obskit::observe("sm_hop_count", sm.hop_cnt as u64);
         let payload = sm.program.finish();
         if let Some(cb) = sm.callback.borrow_mut().take() {
             cb(SmOutcome::Completed(payload));
@@ -446,6 +524,8 @@ impl SmPlatform {
             return;
         }
         sm.cancelled.set(true);
+        obskit::end(sm.span, self.sim().now());
+        obskit::count("sm_failed", 1);
         if let Some(cb) = sm.callback.borrow_mut().take() {
             cb(SmOutcome::Failed(err));
         }
@@ -495,6 +575,14 @@ impl SmNode {
             let mut st = state.borrow_mut();
             st.rng.gauss_duration(params.publish_mean, params.publish_std)
         };
+        obskit::count("sm_tag_publishes", 1);
+        obskit::observe("sm_publish_us", dur.as_micros());
+        obskit::event(
+            obskit::Phase::Publish,
+            &format!("tag:{}@{}", tag.name, self.node),
+            None,
+            self.platform.sim().now(),
+        );
         let state = self.state();
         self.platform.sim().schedule_in(dur, move || {
             state.borrow_mut().tags.publish(tag);
@@ -553,12 +641,32 @@ impl SmNode {
         let cancelled = Rc::new(Cell::new(false));
         let callback: Rc<RefCell<Option<Box<dyn FnOnce(SmOutcome)>>>> =
             Rc::new(RefCell::new(Some(Box::new(cb))));
+        let id = {
+            let mut inner = self.platform.inner.borrow_mut();
+            inner.next_sm += 1;
+            inner.next_sm
+        };
+        obskit::count("sm_injected", 1);
+        let now = sim.now();
+        let root = obskit::start(
+            obskit::Phase::Migrate,
+            &format!("sm:{id}@{}", self.node),
+            None,
+            now,
+        );
+        // Issuer-side one-time costs (paper: 60 ms serialization + 40 ms
+        // dispatch before the first hop leaves the phone).
+        let iser = obskit::start(obskit::Phase::Serialize, "issuer", root, now);
+        obskit::end(iser, now + params.issuer_serialize);
+        let ithr = obskit::start(
+            obskit::Phase::ThreadSwitch,
+            "issuer_dispatch",
+            root,
+            now + params.issuer_serialize,
+        );
+        obskit::end(ithr, now + params.issuer_serialize + params.issuer_thread);
         let sm = SmInstance {
-            id: {
-                let mut inner = self.platform.inner.borrow_mut();
-                inner.next_sm += 1;
-                inner.next_sm
-            },
+            id,
             origin: self.node,
             program,
             hop_cnt: 0,
@@ -566,17 +674,21 @@ impl SmNode {
             cancelled: cancelled.clone(),
             callback: callback.clone(),
             path: Vec::new(),
+            span: root,
         };
         let _ = sm.id;
         // Timeout watchdog.
         {
             let cancelled = cancelled.clone();
             let callback = callback.clone();
+            let sim2 = sim.clone();
             sim.schedule_in(timeout, move || {
                 if cancelled.get() {
                     return;
                 }
                 cancelled.set(true);
+                obskit::end(root, sim2.now());
+                obskit::count("sm_timeouts", 1);
                 if let Some(cb) = callback.borrow_mut().take() {
                     cb(SmOutcome::TimedOut);
                 }

@@ -30,6 +30,10 @@ impl Client for NarratingClient {
 }
 
 fn main() {
+    // Everything the middleware does below is counted and traced by the
+    // obskit collector; the run summary at the end comes from here.
+    let obs = obskit::Obs::new();
+    let _obs_guard = obs.install();
     let tb = Testbed::with_seed(155);
     let phone = tb.add_phone(PhoneSetup {
         metered: false,
@@ -56,6 +60,12 @@ fn main() {
             true
         });
     }
+
+    // Battery/memory/load gauges sampled on sim ticks.
+    phone
+        .factory()
+        .monitor()
+        .start_sampling(&tb.sim, SimDuration::from_secs(15));
 
     let client = Rc::new(NarratingClient {
         received: Cell::new(0),
@@ -90,5 +100,40 @@ fn main() {
     println!(
         "\nlocation items received across the whole run: {} — the application never noticed",
         client.received.get()
+    );
+
+    // Run summary straight out of the obskit registry and span log.
+    println!("\nobskit run summary");
+    println!("{:-<44}", "");
+    for (label, counter) in [
+        ("items delivered", "manager_items_delivered"),
+        ("provider failures", "factory_provider_failures"),
+        ("mechanism switches", "factory_mechanism_switches"),
+        ("recoveries (switch back)", "factory_recoveries"),
+        ("BT inquiries (discovery)", "bt_inquiries"),
+        ("ad hoc deliveries", "provider_adhoc_deliveries"),
+        ("monitor sample ticks", "monitor_sample_ticks"),
+    ] {
+        println!("{label:<28} {:>10}", obs.counter(counter));
+    }
+    let blackouts: Vec<_> = obs
+        .spans()
+        .into_iter()
+        .filter(|s| {
+            s.phase == obskit::Phase::Failover
+                && s.label.starts_with("gap:")
+                && s.end.is_some()
+        })
+        .collect();
+    for s in &blackouts {
+        if let Some(d) = s.duration() {
+            println!("blackout span {:<15} {:>9.1}s", s.label, d.as_secs_f64());
+        }
+    }
+    println!("{:-<44}", "");
+    println!(
+        "{} spans recorded; battery gauge ends at {:.0} (2 = high)",
+        obs.span_count(),
+        obs.gauge("monitor_battery_level").unwrap_or(-1.0)
     );
 }

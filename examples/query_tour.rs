@@ -9,11 +9,18 @@ use contory::{CxtItem, CxtValue, EventWindow};
 use simkit::{SimDuration, SimTime};
 
 fn main() {
+    // Applications share the middleware's obskit registry: install a
+    // collector and any `obskit::count`/`gauge`/`observe` call — ours or
+    // the middleware's — lands in the same snapshot printed at the end.
+    let obs = obskit::Obs::new();
+    let _obs_guard = obs.install();
+
     // --- the paper's example query ---
     let text = "SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 \
                 FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25";
     println!("parsing the paper's example query:\n  {text}\n");
     let q = CxtQuery::parse(text).expect("valid query");
+    obskit::count("tour_queries_parsed", 1);
     println!("  SELECT    -> {}", q.select);
     println!("  FROM      -> {:?}", q.from);
     println!("  WHERE     -> {:?}", q.where_clause);
@@ -41,6 +48,7 @@ fn main() {
         "SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 20 sec DURATION 2 hour EVERY 30 sec",
     )
     .unwrap();
+    obskit::count("tour_queries_parsed", 2);
     println!("query merging (§4.3):");
     println!("  q1: {q1}");
     println!("  q2: {q2}");
@@ -62,9 +70,13 @@ fn main() {
             SimTime::from_secs(t),
         ));
         if let contory::query::QueryMode::Event(expr) = &q.mode {
+            let fires = window.eval(expr);
+            if fires {
+                obskit::count("tour_event_firings", 1);
+            }
             println!(
                 "  t={t:>2}s  temperature={v:>4.1}C  AVG so far -> condition {}",
-                if window.eval(expr) { "FIRES" } else { "quiet" }
+                if fires { "FIRES" } else { "quiet" }
             );
         }
     }
@@ -98,5 +110,10 @@ fn main() {
     ] {
         println!("  {bad}");
         println!("    -> {}", CxtQuery::parse(bad).unwrap_err());
+        obskit::count("tour_parse_errors", 1);
     }
+
+    // --- everything counted above, straight from the obskit registry ---
+    println!("\nobskit metrics snapshot for this tour:");
+    println!("{}", obs.metrics_snapshot());
 }

@@ -11,7 +11,11 @@
 # 3. the failure-scenario suite in isolation — every scenario runs
 #    across the three fixed seeds baked into the suite (11, 22, 33);
 # 4. the Fig. 5 failover bench, which asserts the recovery SLO
-#    (worst provisioning gap <= 45 s) from the FailoverReport.
+#    (worst provisioning gap <= 45 s) from the FailoverReport;
+# 5. the obs gate: the sm_breakup bench re-measures the paper's §6.1
+#    latency break-up from obskit spans and asserts each phase share
+#    (connection 4-5 %, serialization 26-33 %, thread switching
+#    12-14 %, transfer 51-54 %) within ±3 pp (DESIGN.md §5d).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,5 +36,8 @@ cargo test -q --test proptests
 
 echo "==> Fig. 5 failover bench (recovery SLO)"
 cargo run -q --release -p contory-bench --bin fig5_failover
+
+echo "==> obs gate (span-measured 6.1 break-up within +/-3pp)"
+cargo run -q --release -p contory-bench --bin sm_breakup
 
 echo "==> verify: OK"

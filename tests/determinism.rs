@@ -19,6 +19,10 @@ use testbed::{PhoneSetup, Testbed};
 /// Runs the Fig. 5 BT-GPS outage scenario and renders everything
 /// observable about the run into one string.
 fn run_fig5_transcript(seed: u64) -> String {
+    // Observability: the obskit exports are part of the transcript, so a
+    // nondeterministic counter, span id or export ordering diffs too.
+    let obs = obskit::Obs::new();
+    let _obs_guard = obs.install();
     let tb = Testbed::with_seed(seed);
     let phone = tb.add_phone(PhoneSetup {
         metered: false,
@@ -106,6 +110,12 @@ fn run_fig5_transcript(seed: u64) -> String {
     let _ = writeln!(out, "{report}");
     let _ = writeln!(out, "-- failover report (debug) --");
     let _ = writeln!(out, "{report:#?}");
+
+    // obskit exports: metrics snapshot + full span stream, byte for byte.
+    let _ = writeln!(out, "-- obskit metrics snapshot --");
+    let _ = writeln!(out, "{}", obs.metrics_snapshot());
+    let _ = writeln!(out, "-- obskit spans (jsonl) --");
+    let _ = writeln!(out, "{}", obs.spans_jsonl());
     out
 }
 
