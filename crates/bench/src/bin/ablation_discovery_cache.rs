@@ -1,100 +1,12 @@
-//! Ablation: **peer/discovery caching** (DESIGN.md §5).
-//!
-//! The paper notes that BT on-demand cost is dominated by the ~13 s
-//! device-discovery phase, and that "in some cases a list of pre-known
-//! devices is used". This ablation quantifies what the cached
-//! neighbourhood buys: latency and energy of an ad hoc BT round with a
-//! cold cache (full inquiry + SDP each time) versus a warm cache.
+//! Thin wrapper: runs the BT discovery-cache ablation
+//! ([`contory_bench::scenarios::ablation_cache`]) through the benchkit
+//! harness and prints its report.
 
-use contory::refs::{AdHocSpec, BtReference};
-use contory::{CxtItem, CxtValue};
-use contory_bench::{fmt_joules, fmt_ms, print_table, Row};
-use radio::Position;
-use simkit::stats::Summary;
-use simkit::SimDuration;
-use testbed::{EnergyProbe, PhoneSetup, Testbed};
-use std::cell::Cell;
-use std::rc::Rc;
+use contory_bench::scenarios::ablation_cache::AblationDiscoveryCache;
 
 fn main() {
-    println!("Ablation — BT discovery cache (pre-known devices)");
-    let tb = Testbed::with_seed(801);
-    let requester = tb.add_phone(PhoneSetup {
-        metered: false,
-        ..PhoneSetup::nokia6630("req", Position::new(0.0, 0.0))
-    });
-    let provider = tb.add_phone(PhoneSetup {
-        metered: false,
-        ..PhoneSetup::nokia6630("prov", Position::new(5.0, 0.0))
-    });
-    provider.factory().register_cxt_server("bench");
-    provider
-        .factory()
-        .publish_cxt_item(
-            CxtItem::new("temperature", CxtValue::quantity(14.0, "C"), tb.sim.now())
-                .with_accuracy(0.2),
-            None,
-        )
-        .unwrap();
-    tb.sim.run_for(SimDuration::from_secs(1));
-    let bt = requester.bt_reference();
-
-    let run = |cold: bool| -> (Summary, Summary) {
-        let mut lat = Summary::new();
-        let mut energy = Summary::new();
-        for _ in 0..8 {
-            if cold {
-                bt.forget_peers();
-                tb.sim.run_for(SimDuration::from_secs(5));
-            }
-            let probe = EnergyProbe::start(&tb.sim, requester.phone());
-            let t0 = tb.sim.now();
-            let done = Rc::new(Cell::new(false));
-            let d = done.clone();
-            bt.adhoc_round(&AdHocSpec::one_hop("temperature"), Box::new(move |res| {
-                assert!(!res.expect("round ok").is_empty());
-                d.set(true);
-            }));
-            testbed::run_until_flag(&tb.sim, &done, SimDuration::from_secs(60));
-            lat.push((tb.sim.now() - t0).as_millis_f64());
-            tb.sim.run_for(SimDuration::from_secs(5));
-            energy.push(
-                probe
-                    .above_baseline(phone::Milliwatts(5.75 + 2.72 + 1.64 + 6.0))
-                    .as_joules(),
-            );
-        }
-        (lat, energy)
-    };
-
-    let (cold_lat, cold_energy) = run(true);
-    // Warm once, then measure.
-    {
-        let done = Rc::new(Cell::new(false));
-        let d = done.clone();
-        bt.adhoc_round(&AdHocSpec::one_hop("temperature"), Box::new(move |_res| d.set(true)));
-        testbed::run_until_flag(&tb.sim, &done, SimDuration::from_secs(60));
-    }
-    let (warm_lat, warm_energy) = run(false);
-
-    let rows = vec![
-        Row::new("latency (ms)", fmt_ms(&warm_lat), fmt_ms(&cold_lat), "warm vs cold"),
-        Row::new(
-            "energy per round (J)",
-            fmt_joules(&warm_energy),
-            fmt_joules(&cold_energy),
-            "warm vs cold",
-        ),
-    ];
-    print_table("warm cache (measured) vs cold cache (paper column)", "", &rows);
-    println!(
-        "\ncache speedup: {:.0}x latency, {:.0}x energy",
-        cold_lat.mean() / warm_lat.mean(),
-        cold_energy.mean() / warm_energy.mean()
-    );
-    println!(
-        "(the paper's Table 2 shows the same split: 5.27 J with discovery vs 0.099 J without)"
-    );
-    assert!(cold_lat.mean() > 10_000.0, "cold rounds pay the ~13 s inquiry");
-    assert!(warm_lat.mean() < 100.0, "warm rounds are two orders faster");
+    let (report, text) = contory_bench::run_and_render(&AblationDiscoveryCache);
+    println!("{text}");
+    let failed = report.failed_checks();
+    assert!(failed.is_empty(), "failed checks:\n{}", failed.join("\n"));
 }

@@ -1,117 +1,12 @@
-//! Ablation: **query merging** (DESIGN.md §5).
-//!
-//! The Facade merges compatible queries onto one provider to "avoid
-//! redundancy and keep the number of active queries minimal" (§4.3).
-//! This ablation compares a workload of 6 mergeable queries (same SELECT,
-//! overlapping clauses) against the equivalent unmergeable workload
-//! (6 distinct context types): providers instantiated, radio rounds
-//! performed, and requester-side energy.
+//! Thin wrapper: runs the query-merging ablation
+//! ([`contory_bench::scenarios::ablation_merging`]) through the benchkit
+//! harness and prints its report.
 
-use contory::{CollectingClient, CxtItem, CxtValue, Mechanism};
-use contory_bench::{print_table, Row};
-use phone::Milliwatts;
-use radio::Position;
-use simkit::SimDuration;
-use testbed::{EnergyProbe, PhoneSetup, Testbed};
-use std::rc::Rc;
-
-fn run(mergeable: bool) -> (usize, f64, usize) {
-    let tb = Testbed::with_seed(if mergeable { 701 } else { 702 });
-    let requester = tb.add_phone(PhoneSetup {
-        metered: false,
-        ..PhoneSetup::nokia6630("req", Position::new(0.0, 0.0))
-    });
-    let provider = tb.add_phone(PhoneSetup {
-        metered: false,
-        ..PhoneSetup::nokia6630("prov", Position::new(5.0, 0.0))
-    });
-    provider.factory().register_cxt_server("bench");
-    let types: Vec<String> = if mergeable {
-        vec!["temperature".into(); 6]
-    } else {
-        vec![
-            "temperature".into(),
-            "wind".into(),
-            "humidity".into(),
-            "pressure".into(),
-            "light".into(),
-            "noise".into(),
-        ]
-    };
-    for (i, t) in types.iter().enumerate() {
-        provider
-            .factory()
-            .publish_cxt_item(
-                CxtItem::new(t.clone(), CxtValue::number(10.0 + i as f64), tb.sim.now())
-                    .with_accuracy(0.2),
-                None,
-            )
-            .unwrap();
-    }
-    tb.sim.run_for(SimDuration::from_secs(2));
-    let client = Rc::new(CollectingClient::new());
-    for (i, t) in types.iter().enumerate() {
-        requester
-            .submit(
-                &format!(
-                    "SELECT {t} FROM adHocNetwork(all,1) DURATION 1 hour EVERY {} sec",
-                    20 + i
-                ),
-                client.clone(),
-            )
-            .unwrap();
-    }
-    let providers = requester
-        .factory()
-        .facade(Mechanism::AdHocBt)
-        .unwrap()
-        .provider_count();
-    // Let discovery settle, then measure 5 minutes of steady state.
-    tb.sim.run_for(SimDuration::from_secs(60));
-    let floor = Milliwatts(5.75 + 2.72 + 1.64 + 6.0);
-    let probe = EnergyProbe::start(&tb.sim, requester.phone());
-    let before = client.all_items().len();
-    tb.sim.run_for(SimDuration::from_mins(5));
-    let items = client.all_items().len() - before;
-    (providers, probe.above_baseline(floor).as_joules(), items)
-}
+use contory_bench::scenarios::ablation_merging::AblationMerging;
 
 fn main() {
-    println!("Ablation — query merging (6 concurrent periodic ad hoc queries)");
-    let (p_merge, e_merge, i_merge) = run(true);
-    let (p_nomerge, e_nomerge, i_nomerge) = run(false);
-    let rows = vec![
-        Row::new(
-            "active providers",
-            p_merge.to_string(),
-            p_nomerge.to_string(),
-            "merging collapses compatible queries onto one provider",
-        ),
-        Row::new(
-            "requester energy over 5 min (J)",
-            format!("{e_merge:.2}"),
-            format!("{e_nomerge:.2}"),
-            "beyond the idle floor",
-        ),
-        Row::new(
-            "items delivered",
-            i_merge.to_string(),
-            i_nomerge.to_string(),
-            "every member query keeps receiving",
-        ),
-    ];
-    print_table(
-        "mergeable workload (measured) vs unmergeable workload (paper column)",
-        "",
-        &rows,
-    );
-    println!(
-        "\nenergy per delivered item: {:.4} J merged vs {:.4} J unmerged ({:.1}x saving)",
-        e_merge / i_merge as f64,
-        e_nomerge / i_nomerge as f64,
-        (e_nomerge / i_nomerge as f64) / (e_merge / i_merge as f64)
-    );
-    assert_eq!(p_merge, 1, "mergeable queries share one provider");
-    assert_eq!(p_nomerge, 6, "distinct types cannot merge");
-    assert!(i_merge > 0 && i_nomerge > 0);
+    let (report, text) = contory_bench::run_and_render(&AblationMerging);
+    println!("{text}");
+    let failed = report.failed_checks();
+    assert!(failed.is_empty(), "failed checks:\n{}", failed.join("\n"));
 }

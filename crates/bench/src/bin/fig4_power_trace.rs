@@ -1,90 +1,11 @@
-//! Regenerates **Fig. 4** of the paper: power consumption of extInfra
-//! provisioning — "a test in which 5 queries were sent to the
-//! infrastructure over UMTS, every 3 min".
-//!
-//! Expected shape: ~1000 mW peaks when each query opens the UMTS
-//! connection, long DCH/FACH decay tails after each transfer, and GSM
-//! paging spikes of 450–481 mW every 50–60 s in between.
+//! Thin wrapper: runs the Fig. 4 regenerator ([`contory_bench::scenarios::fig4`])
+//! through the benchkit harness and prints its report.
 
-use contory::refs::{CellReference, InfraSpec};
-use radio::Position;
-use sensors::EnvField;
-use simkit::{SimDuration, SimTime};
-use testbed::{PhoneSetup, Testbed};
-use std::cell::Cell;
-use std::rc::Rc;
+use contory_bench::scenarios::fig4::Fig4PowerTrace;
 
 fn main() {
-    println!("Fig. 4 reproduction — power consumption for extInfra provisioning");
-    println!("(5 on-demand queries over UMTS, one every 3 minutes; GSM radio on)\n");
-
-    let tb = Testbed::with_seed(401);
-    tb.add_weather_station(
-        "station",
-        Position::new(10_000.0, 0.0),
-        &[EnvField::TemperatureC],
-        SimDuration::from_secs(30),
-    );
-    tb.sim.run_for(SimDuration::from_secs(60));
-    let phone = tb.add_phone(PhoneSetup {
-        cell_on: true,
-        metered: false,
-        ..PhoneSetup::nokia6630("p", Position::new(0.0, 0.0))
-    });
-    let cell = phone.cell_reference();
-    let t0 = tb.sim.now();
-
-    // 5 queries, one every 3 minutes (first at t0 + 60 s).
-    let completed = Rc::new(Cell::new(0u32));
-    for k in 0..5u64 {
-        let cell = cell.clone();
-        let completed = completed.clone();
-        tb.sim.schedule_at(t0 + SimDuration::from_secs(60 + 180 * k), move || {
-            let spec = InfraSpec {
-                cxt_type: "temperature".into(),
-                max_items: 1,
-                ..Default::default()
-            };
-            let completed = completed.clone();
-            cell.fetch(&spec, Box::new(move |res| {
-                assert!(!res.expect("fetch ok").is_empty());
-                completed.set(completed.get() + 1);
-            }));
-        });
-    }
-    tb.sim.run_for(SimDuration::from_secs(15 * 60));
-    assert_eq!(completed.get(), 5, "all five queries answered");
-
-    let trace = phone.phone().power().trace_snapshot();
-    let t_end = tb.sim.now();
-    println!("{}", trace.ascii_plot(t0, t_end, 110, 16));
-
-    // Quantitative shape checks.
-    let peak = trace.max_value().unwrap_or(0.0);
-    println!("peak power:          {peak:.0} mW   (paper: ~1000 mW when the connection opens)");
-    let samples = trace.resample(t0, t_end, SimDuration::from_millis(500));
-    let paging: Vec<&(SimTime, f64)> = samples
-        .iter()
-        .filter(|(_, v)| (440.0..500.0).contains(v))
-        .collect();
-    println!(
-        "paging-band samples: {}   (450-481 mW spikes every 50-60 s between queries)",
-        paging.len()
-    );
-    let mean = trace.mean_between(t0, t_end);
-    let energy_j = trace.integrate(t0, t_end) / 1_000.0;
-    println!("mean power:          {mean:.1} mW over the 15 min test");
-    println!("total energy:        {energy_j:.1} J ({:.2} J per query incl. idle floor)", energy_j / 5.0);
-    // Count distinct high-power episodes (the five query peaks).
-    let mut episodes = 0;
-    let mut above = false;
-    for (_, v) in &samples {
-        if *v > 900.0 && !above {
-            episodes += 1;
-            above = true;
-        } else if *v < 600.0 {
-            above = false;
-        }
-    }
-    println!("high-power episodes: {episodes}   (paper: 5 — one per query)");
+    let (report, text) = contory_bench::run_and_render(&Fig4PowerTrace);
+    println!("{text}");
+    let failed = report.failed_checks();
+    assert!(failed.is_empty(), "failed checks:\n{}", failed.join("\n"));
 }

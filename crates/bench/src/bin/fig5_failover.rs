@@ -1,185 +1,14 @@
-//! Regenerates **Fig. 5** of the paper: Contory's behaviour in the
-//! presence of a BT-GPS failure.
-//!
-//! Timeline per the paper: the phone retrieves location from a BT-GPS;
-//! "after 155 sec, we caused a GPS failure by manually switching off the
-//! GPS device. As a reaction, Contory switches from sensor-based
-//! provisioning to ad hoc provisioning and starts collecting location
-//! data from a neighboring device. Later on, the GPS device becomes
-//! available again … Contory switches back to sensor-based provisioning.
-//! The cost in terms of power consumption of the switches is due mostly
-//! to the BT device discovery."
+//! Thin wrapper: runs the Fig. 5 failover regenerator
+//! ([`contory_bench::scenarios::fig5`]) through the benchkit harness and
+//! prints its report. `scripts/verify.sh` runs this binary; the recovery
+//! SLOs are benchkit tolerance-band checks, so a violated band fails the
+//! process.
 
-use contory::{CollectingClient, CxtItem, CxtValue, Mechanism, Trust};
-use radio::Position;
-use simkit::{FaultPlan, SimDuration, SimTime};
-use testbed::{PhoneSetup, Testbed};
-use std::cell::RefCell;
-use std::rc::Rc;
+use contory_bench::scenarios::fig5::Fig5Failover;
 
 fn main() {
-    println!("Fig. 5 reproduction — Contory behaviour under a BT-GPS failure\n");
-    // Observability: collect metrics + spans for the whole scenario.
-    let obs = obskit::Obs::new();
-    let _obs_guard = obs.install();
-    let tb = Testbed::with_seed(501);
-    let phone = tb.add_phone(PhoneSetup {
-        metered: false,
-        ..PhoneSetup::nokia6630("sailor", Position::new(0.0, 0.0))
-    });
-    let gps = tb.add_bt_gps(Position::new(2.0, 0.0), SimDuration::from_secs(5));
-    let neighbor = tb.add_phone(PhoneSetup {
-        metered: false,
-        ..PhoneSetup::nokia6630("neighbor", Position::new(6.0, 0.0))
-    });
-    neighbor.factory().register_cxt_server("app");
-    {
-        let factory = neighbor.factory().clone();
-        let world = tb.world.clone();
-        let node = neighbor.node();
-        let sim = tb.sim.clone();
-        tb.sim.schedule_repeating(SimDuration::from_secs(10), move || {
-            let p = world.position_of(node).unwrap();
-            let _ = factory.publish_cxt_item(
-                CxtItem::new("location", CxtValue::Position { x: p.x, y: p.y }, sim.now())
-                    .with_accuracy(30.0)
-                    .with_trust(Trust::Community),
-                None,
-            );
-            true
-        });
-    }
-
-    // Resource gauges sampled on sim ticks for the metrics snapshot.
-    phone
-        .factory()
-        .monitor()
-        .start_sampling(&tb.sim, SimDuration::from_secs(10));
-
-    let client = Rc::new(CollectingClient::new());
-    let id = phone
-        .submit(
-            "SELECT location FROM intSensor DURATION 2 hour EVERY 5 sec",
-            client.clone(),
-        )
-        .unwrap();
-
-    // Record the mechanism timeline while the scenario plays out.
-    let timeline: Rc<RefCell<Vec<(SimTime, Option<Mechanism>)>>> = Rc::new(RefCell::new(Vec::new()));
-    {
-        let timeline = timeline.clone();
-        let factory = phone.factory().clone();
-        let sim = tb.sim.clone();
-        tb.sim.schedule_repeating(SimDuration::from_secs(1), move || {
-            timeline.borrow_mut().push((sim.now(), factory.mechanism_of(id)));
-            true
-        });
-    }
-
-    // Scripted fault: the GPS puck is dark between t = 155 s and
-    // t = 330 s (the paper's "manually switching off the GPS device"),
-    // driven through the deterministic fault-injection subsystem.
-    let mut plan = FaultPlan::new(501);
-    plan.down_between("gps", SimTime::from_secs(155), SimTime::from_secs(330));
-    let injector = tb.install_faults(&plan);
-    {
-        let gps2 = gps.clone();
-        injector.register("gps", move |up| gps2.set_powered(up));
-    }
-    tb.sim.run_until(SimTime::from_secs(520));
-
-    // Power trace.
-    let trace = phone.phone().power().trace_snapshot();
-    println!(
-        "{}",
-        trace.ascii_plot(SimTime::ZERO, SimTime::from_secs(520), 110, 14)
-    );
-
-    // Mechanism timeline: print the switches.
-    println!("provisioning timeline:");
-    let mut last: Option<Mechanism> = None;
-    let mut switch_times: Vec<(SimTime, Option<Mechanism>)> = Vec::new();
-    for (t, m) in timeline.borrow().iter() {
-        if *m != last {
-            println!("  t={:>7}  ->  {}", t.to_string(), match m {
-                Some(m) => m.to_string(),
-                None => "(none)".to_owned(),
-            });
-            switch_times.push((*t, *m));
-            last = *m;
-        }
-    }
-
-    // Checks.
-    let to_adhoc = switch_times
-        .iter()
-        .find(|(_, m)| *m == Some(Mechanism::AdHocBt))
-        .expect("switched to ad hoc provisioning");
-    let back = switch_times
-        .iter()
-        .rev()
-        .find(|(_, m)| *m == Some(Mechanism::IntSensor))
-        .expect("switched back to the GPS");
-    println!("\nGPS off at t=155 s; switch to ad hoc at t={} (paper: shortly after 155 s)", to_adhoc.0);
-    println!("GPS on  at t=330 s; switch back at t={}", back.0);
-    assert!(to_adhoc.0 >= SimTime::from_secs(155) && to_adhoc.0 < SimTime::from_secs(200));
-    assert!(back.0 > SimTime::from_secs(330));
-
-    // Switch cost: mean extra power during the two switch windows (the
-    // paper attributes 163-292 mW to BT device discovery).
-    for (label, from) in [("failover", to_adhoc.0), ("recovery", back.0 - SimDuration::from_secs(45))] {
-        let to = from + SimDuration::from_secs(20);
-        let mean = trace.mean_between(from, to);
-        println!("mean power around the {label} switch: {mean:.0} mW (discovery-driven; paper: 163-292 mW band)");
-    }
-    let items = client.items_for(id);
-    println!("\nlocation items delivered across the whole run: {}", items.len());
-    assert!(items.len() > 50, "provisioning kept flowing throughout");
-
-    // Recovery SLOs from the middleware's own failover accounting
-    // (surfaced through the ResourcesMonitor).
-    let report = phone.factory().monitor().failover_report(tb.sim.now());
-    println!("\n{report}");
-    let row = report.get(id).expect("query tracked");
-    assert!(row.failures >= 1, "GPS outage detected");
-    assert!(
-        row.mechanisms_tried.contains(&Mechanism::AdHocBt),
-        "ad hoc provisioning in the failover trail"
-    );
-    assert!(
-        row.gap_max <= SimDuration::from_secs(45),
-        "provisioning gap {:.1}s exceeds the 45 s SLO",
-        row.gap_max.as_secs_f64()
-    );
-    println!(
-        "failover SLO: longest provisioning gap {:.1}s (<= 45 s), ~{} periodic items lost, \
-         {} fault transitions applied",
-        row.gap_max.as_secs_f64(),
-        row.items_lost_estimate,
-        injector.transitions_applied(),
-    );
-
-    // Metrics snapshot alongside the FailoverReport: the same scenario
-    // seen through the obskit registry (counters, gauges, histograms).
-    println!("\nmetrics snapshot (obskit):");
-    println!("{}", obs.metrics_snapshot());
-    let failover_spans = obs
-        .spans()
-        .iter()
-        .filter(|s| s.phase == obskit::Phase::Failover && s.end.is_some())
-        .count();
-    println!(
-        "span log: {} spans total, {} closed blackout (failover) spans",
-        obs.span_count(),
-        failover_spans
-    );
-    assert!(
-        obs.counter("factory_mechanism_switches") >= 1,
-        "obskit saw the failover switch to ad hoc"
-    );
-    assert!(
-        obs.counter("factory_recoveries") >= 1,
-        "obskit saw the recovery switch back to the GPS"
-    );
-    assert!(failover_spans >= 1, "blackout span recorded for the GPS outage");
+    let (report, text) = contory_bench::run_and_render(&Fig5Failover);
+    println!("{text}");
+    let failed = report.failed_checks();
+    assert!(failed.is_empty(), "failed checks:\n{}", failed.join("\n"));
 }

@@ -1,122 +1,12 @@
-//! Regenerates the paper's in-text idle-power measurements (§6.1):
-//!
-//! > "When BT is turned off, back-light is switched on, and display is
-//! > switched on, the average power consumption is about 76.20 mW. If the
-//! > back-light is turned off, the consumption decreases to 14.35 mW. A
-//! > consumption of 5.75 mW is achieved if also the display is turned
-//! > off. Turning on BT in page and inquiry scan state increases the
-//! > power consumption to 8.47 mW. Turning on Contory as well leads to a
-//! > power consumption of 10.11 mW. … having WiFi connected at full
-//! > signal (with back light on) drains a constant current of 300 mA,
-//! > which leads to an average power consumption of 1190 mW … more than
-//! > 100 times more energy-consuming than having BT in inquiry mode."
+//! Thin wrapper: runs the §6.1 idle-power regenerator
+//! ([`contory_bench::scenarios::idle`]) through the benchkit harness and
+//! prints its report.
 
-use contory_bench::{print_table, verdict, Row};
-use phone::{Phone, PhoneConfig, Volts};
-use simkit::{Sim, SimDuration};
-use testbed::{EnergyProbe, PhoneSetup, Testbed};
-use radio::Position;
-
-fn measure_mode(configure: impl Fn(&Sim, &Phone)) -> f64 {
-    let sim = Sim::new();
-    let phone = Phone::new(&sim, PhoneConfig::default());
-    configure(&sim, &phone);
-    let probe = EnergyProbe::start(&sim, &phone);
-    sim.run_for(SimDuration::from_secs(60));
-    probe.mean_power().0
-}
+use contory_bench::scenarios::idle::IdlePower;
 
 fn main() {
-    println!("Idle-power reproduction (in-text measurements of §6.1)");
-    let mut rows: Vec<Row> = Vec::new();
-
-    let full = measure_mode(|_s, p| {
-        p.set_display(true);
-        p.set_backlight(true);
-    });
-    rows.push(Row::new(
-        "display + back-light on, BT off",
-        format!("{full:.2}"),
-        "76.20",
-        verdict(full, 76.20, 0.01),
-    ));
-
-    let display = measure_mode(|_s, p| p.set_display(true));
-    rows.push(Row::new(
-        "display on, back-light off",
-        format!("{display:.2}"),
-        "14.35",
-        verdict(display, 14.35, 0.01),
-    ));
-
-    let dark = measure_mode(|_s, _p| {});
-    rows.push(Row::new(
-        "display + back-light off",
-        format!("{dark:.2}"),
-        "5.75",
-        verdict(dark, 5.75, 0.01),
-    ));
-
-    // BT page/inquiry scan: attach a radio (discoverable by default).
-    let bt_scan = {
-        let tb = Testbed::with_seed(601);
-        let phone = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("p", Position::new(0.0, 0.0))
-        });
-        phone.phone().set_middleware_running(false);
-        let probe = EnergyProbe::start(&tb.sim, phone.phone());
-        tb.sim.run_for(SimDuration::from_secs(60));
-        probe.mean_power().0
-    };
-    rows.push(Row::new(
-        "+ BT page/inquiry scan",
-        format!("{bt_scan:.2}"),
-        "8.47",
-        verdict(bt_scan, 8.47, 0.01),
-    ));
-
-    let with_contory = {
-        let tb = Testbed::with_seed(602);
-        let phone = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("p", Position::new(0.0, 0.0))
-        });
-        let probe = EnergyProbe::start(&tb.sim, phone.phone());
-        tb.sim.run_for(SimDuration::from_secs(60));
-        probe.mean_power().0
-    };
-    rows.push(Row::new(
-        "+ Contory running",
-        format!("{with_contory:.2}"),
-        "10.11",
-        verdict(with_contory, 10.11, 0.01),
-    ));
-
-    // WiFi connected at full signal, back-light on.
-    let wifi = {
-        let tb = Testbed::with_seed(603);
-        let phone = tb.add_phone(PhoneSetup::nokia9500("c", Position::new(0.0, 0.0)));
-        phone.phone().set_backlight(true);
-        phone.phone().set_middleware_running(false);
-        tb.sim.run_for(SimDuration::from_secs(40)); // past startup in-rush
-        let probe = EnergyProbe::start(&tb.sim, phone.phone());
-        tb.sim.run_for(SimDuration::from_secs(60));
-        probe.mean_power().0
-    };
-    rows.push(Row::new(
-        "WiFi connected, back-light on",
-        format!("{wifi:.2}"),
-        "1190.00",
-        verdict(wifi, 1190.0, 0.01),
-    ));
-
-    print_table("Idle operating modes", "(mW)", &rows);
-
-    let current_ma = phone::Milliwatts(wifi).current_at(Volts(4.0965)).0;
-    println!("\nWiFi connected current: {current_ma:.0} mA (paper: constant ~300 mA)");
-    println!(
-        "WiFi / BT-scan ratio:   {:.0}x (paper: \"more than 100 times\")",
-        wifi / bt_scan
-    );
+    let (report, text) = contory_bench::run_and_render(&IdlePower);
+    println!("{text}");
+    let failed = report.failed_checks();
+    assert!(failed.is_empty(), "failed checks:\n{}", failed.join("\n"));
 }

@@ -1,328 +1,11 @@
-//! Regenerates **Table 1** of the paper: latency times of basic Contory
-//! operations — `createCxtItem`, `publishCxtItem` (BT / WiFi-SM / UMTS),
-//! `createCxtQuery`, and `getCxtItem` over BT one-hop, WiFi one- and
-//! two-hop, and UMTS.
-//!
-//! Topologies per the paper: a Nokia 6630/7610 pair for BT, three Nokia
-//! 9500 communicators arranged in a line for WiFi multi-hop, and a remote
-//! infrastructure over UMTS. Items are the 136-byte `lightItem`, queries
-//! are 205 bytes, UMTS envelopes 1696 bytes.
+//! Thin wrapper: runs the Table 1 regenerator ([`contory_bench::scenarios::table1`])
+//! through the benchkit harness and prints its report.
 
-use contory::refs::{AdHocSpec, BtReference, InternalReference};
-use contory::{CxtItem, CxtValue};
-use contory_bench::{fmt_ms, print_table, verdict, Row};
-use fuego::xml::XmlElement;
-use radio::Position;
-use sensors::EnvField;
-use simkit::stats::Summary;
-use simkit::SimDuration;
-use testbed::{measure_async, PhoneSetup, Testbed};
-
-const REPS: usize = 30;
-
-fn light_item(now: simkit::SimTime) -> CxtItem {
-    // ~136 bytes like the paper's lightItem: fully populated metadata.
-    let mut item = CxtItem::new("light", CxtValue::quantity(740.5, "lux"), now)
-        .with_source("intSensor://nokia6630-352087/light0")
-        .with_accuracy(1.0)
-        .with_correctness(0.93)
-        .with_trust(contory::Trust::Trusted);
-    item.metadata.precision = Some(0.5);
-    item.metadata.completeness = Some(1.0);
-    item.metadata.privacy = Some("community".into());
-    debug_assert!((130..=142).contains(&item.wire_size()), "{}", item.wire_size());
-    item
-}
+use contory_bench::scenarios::table1::Table1Latency;
 
 fn main() {
-    println!("Table 1 reproduction — latency of basic Contory operations");
-    println!("reps per operation: {REPS}; values are avg [90% CI half-width]");
-    let mut rows: Vec<Row> = Vec::new();
-
-    // ---------------- createCxtItem (provider side) ----------------
-    let create = {
-        let tb = Testbed::with_seed(101);
-        let phone = tb.add_phone(PhoneSetup {
-            internal_sensors: vec![EnvField::LightLux],
-            metered: false,
-            ..PhoneSetup::nokia6630("p", Position::new(0.0, 0.0))
-        });
-        let internal = phone.internal_reference().expect("sensor configured");
-        measure_async(&tb.sim, REPS, SimDuration::from_millis(10), |_i, done| {
-            internal.sample("light", Box::new(move |res| {
-                res.expect("sample ok");
-                done();
-            }));
-        })
-    };
-    rows.push(Row::new(
-        "createCxtItem",
-        fmt_ms(&create),
-        "0.078 [0.001]",
-        verdict(create.mean(), 0.078, 0.15),
-    ));
-
-    // ---------------- publishCxtItem, BT-based ----------------
-    let publish_bt = {
-        let tb = Testbed::with_seed(102);
-        let phone = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("p", Position::new(0.0, 0.0))
-        });
-        let bt = phone.bt_reference();
-        let sim = tb.sim.clone();
-        measure_async(&tb.sim, REPS, SimDuration::from_millis(50), move |_i, done| {
-            let item = light_item(sim.now());
-            bt.publish(&item, None, Box::new(move |res| {
-                res.expect("publish ok");
-                done();
-            }));
-        })
-    };
-    rows.push(Row::new(
-        "adHocNetwork, BT-based: publishCxtItem",
-        fmt_ms(&publish_bt),
-        "140.359 [0.337]",
-        verdict(publish_bt.mean(), 140.359, 0.05),
-    ));
-
-    // ---------------- publishCxtItem, WiFi/SM-based ----------------
-    let publish_wifi = {
-        let tb = Testbed::with_seed(103);
-        let phone = tb.add_phone(PhoneSetup::nokia9500("c0", Position::new(0.0, 0.0)));
-        tb.sim.run_for(SimDuration::from_secs(40)); // join + startup
-        let wifi = phone.wifi_reference().expect("communicator");
-        let sim = tb.sim.clone();
-        measure_async(&tb.sim, REPS, SimDuration::from_millis(10), move |_i, done| {
-            let item = light_item(sim.now());
-            use contory::refs::WifiReference;
-            wifi.publish(&item, None, Box::new(move |res| {
-                res.expect("publish ok");
-                done();
-            }));
-        })
-    };
-    rows.push(Row::new(
-        "adHocNetwork, WiFi-based: publishCxtItem",
-        fmt_ms(&publish_wifi),
-        "0.130 [0.006]",
-        verdict(publish_wifi.mean(), 0.130, 0.10),
-    ));
-
-    // ---------------- publishCxtItem, UMTS-based ----------------
-    let publish_umts = {
-        let tb = Testbed::with_seed(104);
-        let phone = tb.add_phone(PhoneSetup {
-            cell_on: true,
-            metered: false,
-            ..PhoneSetup::nokia6630("p", Position::new(0.0, 0.0))
-        });
-        let fuego = phone.fuego().expect("fuego client").clone();
-        measure_async(&tb.sim, REPS, SimDuration::from_secs(30), move |_i, done| {
-            // A context item encapsulated in a 1696-byte event notification.
-            let ev = fuego.make_event(
-                "cxt/light",
-                XmlElement::new("cxtItem").attr("type", "light").text("740.5"),
-            );
-            fuego.publish(ev, move |res| {
-                res.expect("uplink ok");
-                done();
-            });
-        })
-    };
-    rows.push(Row::new(
-        "extInfra, UMTS-based: publishCxtItem",
-        fmt_ms(&publish_umts),
-        "772.728 [158.924]",
-        verdict(publish_umts.mean(), 772.728, 0.20),
-    ));
-
-    // ---------------- createCxtQuery ----------------
-    // The paper's table leaves this cell blank/garbled in the available
-    // text; we model query-object creation like item creation scaled by
-    // object size (205 B vs 136 B) and report it for completeness.
-    let create_query = {
-        let tb = Testbed::with_seed(105);
-        let sim = tb.sim.clone();
-        let mut rng = simkit::DetRng::new(105);
-        let mut s = Summary::new();
-        for _ in 0..REPS {
-            s.push(
-                rng.gauss_duration(
-                    SimDuration::from_micros(78 * 205 / 136),
-                    SimDuration::from_micros(2),
-                )
-                .as_millis_f64(),
-            );
-        }
-        let _ = sim;
-        s
-    };
-    rows.push(Row::new(
-        "createCxtQuery",
-        fmt_ms(&create_query),
-        "(cell empty in source)",
-        "modeled: createCxtItem x 205B/136B",
-    ));
-
-    // ---------------- getCxtItem, BT one hop ----------------
-    let get_bt = {
-        let tb = Testbed::with_seed(106);
-        let requester = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("req", Position::new(0.0, 0.0))
-        });
-        let provider = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("prov", Position::new(5.0, 0.0))
-        });
-        provider.factory().register_cxt_server("bench");
-        provider
-            .factory()
-            .publish_cxt_item(light_item(tb.sim.now()), None)
-            .expect("published");
-        tb.sim.run_for(SimDuration::from_secs(1));
-        let bt = requester.bt_reference();
-        // Warm-up round performs device + service discovery (~14 s);
-        // the table's number is "once device and service discovery has
-        // occurred".
-        {
-            use contory::refs::BtReference;
-            let done = std::rc::Rc::new(std::cell::Cell::new(false));
-            let d = done.clone();
-            bt.adhoc_round(&AdHocSpec::one_hop("light"), Box::new(move |res| {
-                assert_eq!(res.expect("round ok").len(), 1);
-                d.set(true);
-            }));
-            testbed::run_until_flag(&tb.sim, &done, SimDuration::from_secs(60));
-        }
-        measure_async(&tb.sim, REPS, SimDuration::from_secs(2), move |_i, done| {
-            use contory::refs::BtReference;
-            bt.adhoc_round(&AdHocSpec::one_hop("light"), Box::new(move |res| {
-                assert!(!res.expect("round ok").is_empty());
-                done();
-            }));
-        })
-    };
-    rows.push(Row::new(
-        "adHocNetwork, BT-based, one hop: getCxtItem",
-        fmt_ms(&get_bt),
-        "31.830 [0.151]",
-        verdict(get_bt.mean(), 31.830, 0.10),
-    ));
-
-    // ---------------- getCxtItem, WiFi one & two hops ----------------
-    let (get_wifi1, get_wifi2) = {
-        let run = |hops: u32, seed: u64| {
-            let tb = Testbed::with_seed(seed);
-            let requester = tb.add_phone(PhoneSetup::nokia9500("c0", Position::new(0.0, 0.0)));
-            let _relay = tb.add_phone(PhoneSetup::nokia9500("c1", Position::new(80.0, 0.0)));
-            let far = tb.add_phone(PhoneSetup::nokia9500("c2", Position::new(160.0, 0.0)));
-            tb.sim.run_for(SimDuration::from_secs(40));
-            let provider = if hops == 1 { &_relay } else { &far };
-            provider.factory().register_cxt_server("bench");
-            provider
-                .factory()
-                .publish_cxt_item(light_item(tb.sim.now()), None)
-                .expect("published");
-            tb.sim.run_for(SimDuration::from_secs(1));
-            let wifi = requester.wifi_reference().expect("communicator");
-            let spec = AdHocSpec {
-                num_hops: hops,
-                ..AdHocSpec::one_hop("light")
-            };
-            // Warm-up: builds the SM route and code caches ("once the
-            // route has been built").
-            {
-                use contory::refs::WifiReference;
-                let done = std::rc::Rc::new(std::cell::Cell::new(false));
-                let d = done.clone();
-                let s = spec.clone();
-                wifi.adhoc_round(&s, Box::new(move |res| {
-                    assert_eq!(res.expect("round ok").len(), 1);
-                    d.set(true);
-                }));
-                testbed::run_until_flag(&tb.sim, &done, SimDuration::from_secs(60));
-            }
-            measure_async(&tb.sim, REPS, SimDuration::from_secs(1), move |_i, done| {
-                use contory::refs::WifiReference;
-                wifi.adhoc_round(&spec, Box::new(move |res| {
-                    assert!(!res.expect("round ok").is_empty());
-                    done();
-                }));
-            })
-        };
-        (run(1, 107), run(2, 108))
-    };
-    rows.push(Row::new(
-        "adHocNetwork, WiFi-based, one hop: getCxtItem",
-        fmt_ms(&get_wifi1),
-        "761.280 [28.940]",
-        verdict(get_wifi1.mean(), 761.280, 0.10),
-    ));
-    rows.push(Row::new(
-        "adHocNetwork, WiFi-based, two hops: getCxtItem",
-        fmt_ms(&get_wifi2),
-        "1422.500 [60.001]",
-        verdict(get_wifi2.mean(), 1422.5, 0.10),
-    ));
-
-    // ---------------- getCxtItem, UMTS ----------------
-    let get_umts = {
-        let tb = Testbed::with_seed(109);
-        tb.add_weather_station(
-            "station",
-            Position::new(10_000.0, 0.0),
-            &[EnvField::LightLux],
-            SimDuration::from_secs(30),
-        );
-        tb.sim.run_for(SimDuration::from_secs(60));
-        let phone = tb.add_phone(PhoneSetup {
-            cell_on: true,
-            metered: false,
-            ..PhoneSetup::nokia6630("p", Position::new(0.0, 0.0))
-        });
-        let cell = phone.cell_reference();
-        let spec = contory::refs::InfraSpec {
-            cxt_type: "light".into(),
-            max_items: 1,
-            ..Default::default()
-        };
-        measure_async(&tb.sim, REPS, SimDuration::from_secs(30), move |_i, done| {
-            use contory::refs::CellReference;
-            cell.fetch(&spec, Box::new(move |res| {
-                assert!(!res.expect("fetch ok").is_empty());
-                done();
-            }));
-        })
-    };
-    rows.push(Row::new(
-        "extInfra, UMTS-based: getCxtItem",
-        fmt_ms(&get_umts),
-        "1473.000 [275.000]",
-        format!(
-            "{}; observed range {:.0}..{:.0} (paper: 703..2766)",
-            verdict(get_umts.mean(), 1473.0, 0.15),
-            get_umts.min(),
-            get_umts.max()
-        ),
-    ));
-
-    print_table("Table 1: latency times of basic Contory operations", "(ms)", &rows);
-
-    // Shape checks the paper's prose calls out.
-    println!("\nShape checks:");
-    println!(
-        "  BT publish >> SM-tag publish: {:.1}x (paper ~1080x)",
-        publish_bt.mean() / publish_wifi.mean()
-    );
-    println!(
-        "  WiFi 2-hop / 1-hop: {:.2}x (paper 1.87x)",
-        get_wifi2.mean() / get_wifi1.mean()
-    );
-    println!(
-        "  UMTS variance is extreme: std {:.0} ms over mean {:.0} ms",
-        get_umts.std_dev(),
-        get_umts.mean()
-    );
+    let (report, text) = contory_bench::run_and_render(&Table1Latency);
+    println!("{text}");
+    let failed = report.failed_checks();
+    assert!(failed.is_empty(), "failed checks:\n{}", failed.join("\n"));
 }

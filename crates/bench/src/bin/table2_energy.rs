@@ -1,343 +1,11 @@
-//! Regenerates **Table 2** of the paper: energy consumption per context
-//! item for every provisioning mechanism.
-//!
-//! Methodology mirrors §6.1: short experiments (high-energy runs ≤ 10
-//! min), idle floors measured before each run and subtracted, WiFi rows
-//! computed from the power log (the paper's multimeter browned the
-//! communicator out — reproduced by `phone::Battery` — so those rows are
-//! lower bounds taken "based on the logs we gathered", with the
-//! back-light on).
+//! Thin wrapper: runs the Table 2 regenerator ([`contory_bench::scenarios::table2`])
+//! through the benchkit harness and prints its report.
 
-use contory::refs::{AdHocSpec, BtReference, CellReference, WifiReference};
-use contory::{CxtItem, CxtValue};
-use contory_bench::{fmt_joules, print_table, verdict, Row};
-use phone::Milliwatts;
-use radio::Position;
-use sensors::EnvField;
-use simkit::stats::Summary;
-use simkit::{Sim, SimDuration};
-use testbed::{EnergyProbe, PhoneSetup, Testbed};
-use std::cell::Cell;
-use std::rc::Rc;
-
-fn light_item(now: simkit::SimTime) -> CxtItem {
-    let mut item = CxtItem::new("light", CxtValue::quantity(740.5, "lux"), now)
-        .with_source("intSensor://nokia6630-352087/light0")
-        .with_accuracy(1.0)
-        .with_correctness(0.93)
-        .with_trust(contory::Trust::Trusted);
-    item.metadata.precision = Some(0.5);
-    item.metadata.completeness = Some(1.0);
-    item.metadata.privacy = Some("community".into());
-    item
-}
-
-/// Measures the idle floor of a phone over 30 s.
-fn idle_floor(sim: &Sim, phone: &phone::Phone) -> Milliwatts {
-    let probe = EnergyProbe::start(sim, phone);
-    sim.run_for(SimDuration::from_secs(30));
-    probe.mean_power()
-}
+use contory_bench::scenarios::table2::Table2Energy;
 
 fn main() {
-    println!("Table 2 reproduction — energy consumption per cxtItem");
-    println!("values are avg [90% CI half-width] joules");
-    let mut rows: Vec<Row> = Vec::new();
-
-    // ---- adHocNetwork BT: provideCxtItem (provider side) ----
-    let provide_bt = {
-        let tb = Testbed::with_seed(201);
-        let requester = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("req", Position::new(0.0, 0.0))
-        });
-        let provider = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("prov", Position::new(5.0, 0.0))
-        });
-        provider.factory().register_cxt_server("bench");
-        provider
-            .factory()
-            .publish_cxt_item(light_item(tb.sim.now()), None)
-            .unwrap();
-        tb.sim.run_for(SimDuration::from_secs(1));
-        let bt = requester.bt_reference();
-        // Warm-up establishes discovery + the link.
-        round_once(&tb.sim, &bt);
-        let floor = idle_floor(&tb.sim, provider.phone());
-        let mut per_item = Summary::new();
-        for _ in 0..10 {
-            let probe = EnergyProbe::start(&tb.sim, provider.phone());
-            round_once(&tb.sim, &bt);
-            tb.sim.run_for(SimDuration::from_secs(5)); // drain active tails
-            per_item.push(probe.above_baseline(floor).as_joules());
-        }
-        per_item
-    };
-    rows.push(Row::new(
-        "adHocNetwork, BT: provideCxtItem",
-        fmt_joules(&provide_bt),
-        "0.133 [0.002]",
-        verdict(provide_bt.mean(), 0.133, 0.15),
-    ));
-
-    // ---- adHocNetwork BT: getCxtItem, on-demand incl. discovery ----
-    let get_bt_discovery = {
-        let tb = Testbed::with_seed(202);
-        let requester = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("req", Position::new(0.0, 0.0))
-        });
-        let provider = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("prov", Position::new(5.0, 0.0))
-        });
-        provider.factory().register_cxt_server("bench");
-        provider
-            .factory()
-            .publish_cxt_item(light_item(tb.sim.now()), None)
-            .unwrap();
-        tb.sim.run_for(SimDuration::from_secs(1));
-        let bt = requester.bt_reference();
-        let floor = idle_floor(&tb.sim, requester.phone());
-        let mut per_item = Summary::new();
-        for _ in 0..5 {
-            bt.forget_peers(); // cold: every run pays full discovery
-            tb.sim.run_for(SimDuration::from_secs(5));
-            let probe = EnergyProbe::start(&tb.sim, requester.phone());
-            round_once(&tb.sim, &bt);
-            tb.sim.run_for(SimDuration::from_secs(5));
-            per_item.push(probe.above_baseline(floor).as_joules());
-        }
-        per_item
-    };
-    rows.push(Row::new(
-        "adHocNetwork, BT: getCxtItem (on-demand, incl. discovery)",
-        fmt_joules(&get_bt_discovery),
-        "5.270 [0.010]",
-        verdict(get_bt_discovery.mean(), 5.270, 0.15),
-    ));
-
-    // ---- adHocNetwork BT: getCxtItem, periodic w/o discovery ----
-    let get_bt_periodic = {
-        let tb = Testbed::with_seed(203);
-        let requester = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("req", Position::new(0.0, 0.0))
-        });
-        let provider = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("prov", Position::new(5.0, 0.0))
-        });
-        provider.factory().register_cxt_server("bench");
-        provider
-            .factory()
-            .publish_cxt_item(light_item(tb.sim.now()), None)
-            .unwrap();
-        tb.sim.run_for(SimDuration::from_secs(1));
-        let bt = requester.bt_reference();
-        // Periodic = push subscription: the query travels once, items are
-        // pushed every period; the table's cost is per received item.
-        let got = Rc::new(Cell::new(0usize));
-        let g = got.clone();
-        let _h = bt.adhoc_subscribe(
-            &AdHocSpec::one_hop("light"),
-            SimDuration::from_secs(5),
-            Rc::new(move |items| g.set(g.get() + items.len())),
-            Rc::new(|_e| {}),
-        );
-        tb.sim.run_for(SimDuration::from_secs(40)); // discovery settles
-        let floor = Milliwatts(5.75 + 2.72 + 1.64 + 6.0); // idle + scan + mw + link
-        let before = got.get();
-        let probe = EnergyProbe::start(&tb.sim, requester.phone());
-        tb.sim.run_for(SimDuration::from_secs(120));
-        let received = got.get() - before;
-        let mut per_item = Summary::new();
-        per_item.push(probe.above_baseline(floor).as_joules() / received as f64);
-        per_item
-    };
-    rows.push(Row::new(
-        "adHocNetwork, BT: getCxtItem (periodic, w/o discovery)",
-        fmt_joules(&get_bt_periodic),
-        "0.099 [0.007]",
-        verdict(get_bt_periodic.mean(), 0.099, 0.15),
-    ));
-
-    // ---- intSensor BT-GPS: getCxtItem (periodic, w/o discovery) ----
-    let get_gps = {
-        let tb = Testbed::with_seed(204);
-        let phone = tb.add_phone(PhoneSetup {
-            metered: false,
-            ..PhoneSetup::nokia6630("sailor", Position::new(0.0, 0.0))
-        });
-        let _gps = tb.add_bt_gps(Position::new(2.0, 0.0), SimDuration::from_secs(5));
-        let client = Rc::new(contory::CollectingClient::new());
-        let id = phone
-            .submit(
-                "SELECT location FROM intSensor DURATION 1 hour EVERY 5 sec",
-                client.clone(),
-            )
-            .unwrap();
-        // Discovery + connection, then steady streaming.
-        tb.sim.run_for(SimDuration::from_secs(40));
-        let before = client.items_for(id).len();
-        // Floor with the link open: BT scan + middleware + link idle.
-        let floor = Milliwatts(5.75 + 2.72 + 1.64 + 6.0);
-        let probe = EnergyProbe::start(&tb.sim, phone.phone());
-        tb.sim.run_for(SimDuration::from_secs(120));
-        let items = client.items_for(id).len() - before;
-        let mut s = Summary::new();
-        s.push(probe.above_baseline(floor).as_joules() / items as f64);
-        s
-    };
-    rows.push(Row::new(
-        "intSensor, BT-GPS: getCxtItem (periodic, w/o discovery)",
-        fmt_joules(&get_gps),
-        "0.422 [0.084]",
-        verdict(get_gps.mean(), 0.422, 0.20),
-    ));
-
-    // ---- adHocNetwork WiFi: one hop & two hops, periodic ----
-    let (wifi1, wifi2) = {
-        let run = |hops: u32, seed: u64| {
-            let tb = Testbed::with_seed(seed);
-            let requester = tb.add_phone(PhoneSetup::nokia9500("c0", Position::new(0.0, 0.0)));
-            let relay = tb.add_phone(PhoneSetup::nokia9500("c1", Position::new(80.0, 0.0)));
-            let far = tb.add_phone(PhoneSetup::nokia9500("c2", Position::new(160.0, 0.0)));
-            // The paper's WiFi runs had the back-light on.
-            requester.phone().set_backlight(true);
-            tb.sim.run_for(SimDuration::from_secs(40));
-            let provider = if hops == 1 { &relay } else { &far };
-            provider.factory().register_cxt_server("bench");
-            provider
-                .factory()
-                .publish_cxt_item(light_item(tb.sim.now()), None)
-                .unwrap();
-            tb.sim.run_for(SimDuration::from_secs(1));
-            let wifi = requester.wifi_reference().unwrap();
-            let spec = AdHocSpec {
-                num_hops: hops,
-                ..AdHocSpec::one_hop("light")
-            };
-            wifi_round_once(&tb.sim, &wifi, &spec); // route build
-            let mut per_item = Summary::new();
-            for _ in 0..10 {
-                // Per-item energy is the full device draw over the
-                // retrieval window (WiFi's constant 1190 mW dominates).
-                let probe = EnergyProbe::start(&tb.sim, requester.phone());
-                wifi_round_once(&tb.sim, &wifi, &spec);
-                per_item.push(probe.total().as_joules());
-                tb.sim.run_for(SimDuration::from_secs(20));
-            }
-            per_item
-        };
-        (run(1, 205), run(2, 206))
-    };
-    rows.push(Row::new(
-        "adHocNetwork, WiFi: getCxtItem (one hop, periodic)",
-        format!("> {}", fmt_joules(&wifi1)),
-        "> 0.906",
-        format!(
-            "{}; back-light on; from power log",
-            verdict(wifi1.mean(), 0.906, 0.15)
-        ),
-    ));
-    rows.push(Row::new(
-        "adHocNetwork, WiFi: getCxtItem (two hops, periodic)",
-        format!("> {}", fmt_joules(&wifi2)),
-        "> 1.693",
-        format!(
-            "{}; back-light on; from power log",
-            verdict(wifi2.mean(), 1.693, 0.15)
-        ),
-    ));
-
-    // ---- extInfra UMTS: getCxtItem, on-demand ----
-    let get_umts = {
-        let tb = Testbed::with_seed(207);
-        tb.add_weather_station(
-            "station",
-            Position::new(10_000.0, 0.0),
-            &[EnvField::LightLux],
-            SimDuration::from_secs(30),
-        );
-        tb.sim.run_for(SimDuration::from_secs(60));
-        let phone = tb.add_phone(PhoneSetup {
-            cell_on: true,
-            metered: false,
-            ..PhoneSetup::nokia6630("p", Position::new(0.0, 0.0))
-        });
-        let cell = phone.cell_reference();
-        let floor = idle_floor(&tb.sim, phone.phone());
-        let spec = contory::refs::InfraSpec {
-            cxt_type: "light".into(),
-            max_items: 1,
-            ..Default::default()
-        };
-        let mut per_item = Summary::new();
-        for _ in 0..8 {
-            let probe = EnergyProbe::start(&tb.sim, phone.phone());
-            let done = Rc::new(Cell::new(false));
-            let d = done.clone();
-            cell.fetch(&spec, Box::new(move |res| {
-                assert!(!res.expect("fetch ok").is_empty());
-                d.set(true);
-            }));
-            testbed::run_until_flag(&tb.sim, &done, SimDuration::from_secs(60));
-            // Let the DCH and FACH tails drain (this *is* most of the cost).
-            tb.sim.run_for(SimDuration::from_secs(60));
-            per_item.push(probe.above_baseline(floor).as_joules());
-        }
-        per_item
-    };
-    rows.push(Row::new(
-        "extInfra, UMTS: getCxtItem (on-demand)",
-        fmt_joules(&get_umts),
-        "14.076 [0.496]",
-        verdict(get_umts.mean(), 14.076, 0.15),
-    ));
-
-    print_table(
-        "Table 2: energy consumption of context provisioning mechanisms",
-        "(J/item)",
-        &rows,
-    );
-
-    println!("\nShape checks:");
-    println!(
-        "  discovery dominates BT on-demand: {:.1}x the periodic cost (paper ~53x)",
-        get_bt_discovery.mean() / get_bt_periodic.mean()
-    );
-    println!(
-        "  GPS stream (340 B, segmented) vs compact item: {:.1}x (paper ~4.3x)",
-        get_gps.mean() / get_bt_periodic.mean()
-    );
-    println!(
-        "  WiFi 2-hop / 1-hop energy: {:.2}x (paper ~1.87x)",
-        wifi2.mean() / wifi1.mean()
-    );
-    println!(
-        "  UMTS is the most expensive per item: {:.1}x BT periodic (paper ~142x)",
-        get_umts.mean() / get_bt_periodic.mean()
-    );
-}
-
-fn round_once(sim: &Sim, bt: &Rc<testbed::SimBtReference>) {
-    let done = Rc::new(Cell::new(false));
-    let d = done.clone();
-    bt.adhoc_round(&AdHocSpec::one_hop("light"), Box::new(move |res| {
-        assert!(!res.expect("round ok").is_empty(), "provider must answer");
-        d.set(true);
-    }));
-    testbed::run_until_flag(sim, &done, SimDuration::from_secs(60));
-}
-
-fn wifi_round_once(sim: &Sim, wifi: &Rc<testbed::SimWifiReference>, spec: &AdHocSpec) {
-    let done = Rc::new(Cell::new(false));
-    let d = done.clone();
-    wifi.adhoc_round(spec, Box::new(move |res| {
-        assert!(!res.expect("round ok").is_empty(), "provider must answer");
-        d.set(true);
-    }));
-    testbed::run_until_flag(sim, &done, SimDuration::from_secs(60));
+    let (report, text) = contory_bench::run_and_render(&Table2Energy);
+    println!("{text}");
+    let failed = report.failed_checks();
+    assert!(failed.is_empty(), "failed checks:\n{}", failed.join("\n"));
 }

@@ -1,99 +1,20 @@
-//! Shared support for the benchmark binaries that regenerate the paper's
-//! tables and figures (see DESIGN.md's experiment index).
+//! Shared support for the benchmark binaries that regenerate the
+//! paper's tables and figures (see DESIGN.md's experiment index).
 //!
-//! Each binary prints a table comparing the *paper's* reported value with
-//! the value *measured* on the simulated testbed, plus a shape verdict.
-//! Absolute agreement is expected only where the simulator was calibrated
-//! against the paper's own numbers; what must hold everywhere is the
-//! ordering and the rough factors (see EXPERIMENTS.md).
+//! Every §6 regenerator is a [`benchkit::Scenario`] registered in
+//! [`scenarios::all`]. The per-scenario bins (`table1_latency`,
+//! `fig5_failover`, …) are thin wrappers that run exactly one scenario
+//! through [`benchkit::run_and_render`]; the `bench_all` bin runs the
+//! whole suite, writes the human tables to `results/*.txt` and the
+//! machine-readable `BENCH_contory.json`, and (with `--check`) diffs
+//! the run against the checked-in `results/baseline.json` tolerance
+//! bands.
+//!
+//! Rendering lives in benchkit's report writer, which returns strings —
+//! the bins own stdout, this library prints nothing.
 
 #![forbid(unsafe_code)]
 
-use simkit::stats::Summary;
+pub mod scenarios;
 
-/// One row of a comparison table.
-pub struct Row {
-    /// Operation / condition label.
-    pub label: String,
-    /// Value measured on the simulated testbed.
-    pub measured: String,
-    /// Value the paper reports.
-    pub paper: String,
-    /// Short note (topology, caveats).
-    pub note: String,
-}
-
-impl Row {
-    /// Builds a row.
-    pub fn new(
-        label: impl Into<String>,
-        measured: impl Into<String>,
-        paper: impl Into<String>,
-        note: impl Into<String>,
-    ) -> Self {
-        Row {
-            label: label.into(),
-            measured: measured.into(),
-            paper: paper.into(),
-            note: note.into(),
-        }
-    }
-}
-
-/// Prints a comparison table.
-pub fn print_table(title: &str, unit: &str, rows: &[Row]) {
-    let w_label = rows
-        .iter()
-        .map(|r| r.label.len())
-        .chain([9])
-        .max()
-        .unwrap_or(9);
-    let head_meas = format!("measured {unit}");
-    let head_paper = format!("paper {unit}");
-    let w_meas = rows
-        .iter()
-        .map(|r| r.measured.len())
-        .chain([head_meas.len()])
-        .max()
-        .unwrap_or(12);
-    let w_paper = rows
-        .iter()
-        .map(|r| r.paper.len())
-        .chain([head_paper.len()])
-        .max()
-        .unwrap_or(12);
-    // The comparison-table renderer *is* the bench output channel.
-    println!("\n=== {title} ==="); // lint:allow(no-print-in-lib) bench table renderer
-    // lint:allow(no-print-in-lib) bench table renderer
-    println!("{:<w_label$}  {:>w_meas$}  {:>w_paper$}  note", "operation", head_meas, head_paper);
-    println!("{}", "-".repeat(w_label + w_meas + w_paper + 24)); // lint:allow(no-print-in-lib) bench table renderer
-    for r in rows {
-        // lint:allow(no-print-in-lib) bench table renderer
-        println!(
-            "{:<w_label$}  {:>w_meas$}  {:>w_paper$}  {}",
-            r.label, r.measured, r.paper, r.note
-        );
-    }
-}
-
-/// Formats a latency summary the way the paper prints Table 1 cells:
-/// `avg [90 % CI half-width]`.
-pub fn fmt_ms(s: &Summary) -> String {
-    format!("{:.3} [{:.3}]", s.mean(), s.ci90_half())
-}
-
-/// Formats an energy summary in joules (Table 2 cells).
-pub fn fmt_joules(s: &Summary) -> String {
-    format!("{:.3} [{:.3}]", s.mean(), s.ci90_half())
-}
-
-/// Checks a measured mean against the paper's value within a relative
-/// tolerance, returning a PASS/WARN verdict string.
-pub fn verdict(measured: f64, paper: f64, rel_tol: f64) -> String {
-    let rel = ((measured - paper) / paper).abs();
-    if rel <= rel_tol {
-        format!("PASS ({:+.1}%)", 100.0 * (measured - paper) / paper)
-    } else {
-        format!("WARN ({:+.1}%)", 100.0 * (measured - paper) / paper)
-    }
-}
+pub use benchkit::{run_and_render, run_scenario, Measurement, Scenario, Unit};

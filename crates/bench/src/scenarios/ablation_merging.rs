@@ -1,0 +1,203 @@
+//! Ablation: **query merging** (DESIGN.md §5).
+//!
+//! The Facade merges compatible queries onto one provider to "avoid
+//! redundancy and keep the number of active queries minimal" (§4.3).
+//! This ablation compares a workload of 6 mergeable queries (same SELECT,
+//! overlapping clauses) against the equivalent unmergeable workload
+//! (6 distinct context types): providers instantiated, radio rounds
+//! performed, and requester-side energy.
+
+use benchkit::{Measurement, RunCtx, Scenario, Unit};
+use contory::{CollectingClient, CxtItem, CxtValue, Mechanism};
+use phone::Milliwatts;
+use radio::Position;
+use simkit::SimDuration;
+use std::rc::Rc;
+use testbed::{EnergyProbe, PhoneSetup, Testbed};
+
+fn run_workload(ctx: &mut RunCtx, mergeable: bool) -> (usize, f64, usize) {
+    let tb = Testbed::with_seed(if mergeable { 701 } else { 702 });
+    let requester = tb.add_phone(PhoneSetup {
+        metered: false,
+        ..PhoneSetup::nokia6630("req", Position::new(0.0, 0.0))
+    });
+    let provider = tb.add_phone(PhoneSetup {
+        metered: false,
+        ..PhoneSetup::nokia6630("prov", Position::new(5.0, 0.0))
+    });
+    provider.factory().register_cxt_server("bench");
+    let types: Vec<String> = if mergeable {
+        vec!["temperature".into(); 6]
+    } else {
+        vec![
+            "temperature".into(),
+            "wind".into(),
+            "humidity".into(),
+            "pressure".into(),
+            "light".into(),
+            "noise".into(),
+        ]
+    };
+    for (i, t) in types.iter().enumerate() {
+        provider
+            .factory()
+            .publish_cxt_item(
+                CxtItem::new(t.clone(), CxtValue::number(10.0 + i as f64), tb.sim.now())
+                    .with_accuracy(0.2),
+                None,
+            )
+            .expect("published");
+    }
+    tb.sim.run_for(SimDuration::from_secs(2));
+    let client = Rc::new(CollectingClient::new());
+    for (i, t) in types.iter().enumerate() {
+        requester
+            .submit(
+                &format!(
+                    "SELECT {t} FROM adHocNetwork(all,1) DURATION 1 hour EVERY {} sec",
+                    20 + i
+                ),
+                client.clone(),
+            )
+            .expect("query accepted");
+    }
+    let providers = requester
+        .factory()
+        .facade(Mechanism::AdHocBt)
+        .expect("facade present")
+        .provider_count();
+    // Let discovery settle, then measure 5 minutes of steady state.
+    tb.sim.run_for(SimDuration::from_secs(60));
+    let floor = Milliwatts(5.75 + 2.72 + 1.64 + 6.0);
+    let probe = EnergyProbe::start(&tb.sim, requester.phone());
+    let before = client.all_items().len();
+    tb.sim.run_for(SimDuration::from_mins(5));
+    let items = client.all_items().len() - before;
+    ctx.tally_sim(&tb.sim);
+    (providers, probe.above_baseline(floor).as_joules(), items)
+}
+
+/// Query-merging ablation scenario.
+pub struct AblationMerging;
+
+impl Scenario for AblationMerging {
+    fn name(&self) -> &'static str {
+        "ablation_merging"
+    }
+    fn title(&self) -> &'static str {
+        "Ablation: query merging (6 concurrent periodic ad hoc queries)"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "ablation"
+    }
+    fn seed(&self) -> u64 {
+        702
+    }
+
+    fn run(&self, ctx: &mut RunCtx) {
+        let (p_merge, e_merge, i_merge) = run_workload(ctx, true);
+        let (p_nomerge, e_nomerge, i_nomerge) = run_workload(ctx, false);
+
+        ctx.push(
+            Measurement::scalar(
+                "providers_merged",
+                "active providers (mergeable workload)",
+                Unit::Count,
+                p_merge as f64,
+            )
+            .with_note("merging collapses compatible queries onto one provider"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "providers_unmerged",
+                "active providers (unmergeable workload)",
+                Unit::Count,
+                p_nomerge as f64,
+            )
+            .with_note("distinct types cannot merge"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "energy_merged_j",
+                "requester energy over 5 min (mergeable)",
+                Unit::Joules,
+                e_merge,
+            )
+            .with_note("beyond the idle floor"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "energy_unmerged_j",
+                "requester energy over 5 min (unmergeable)",
+                Unit::Joules,
+                e_nomerge,
+            )
+            .with_note("beyond the idle floor"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "items_merged",
+                "items delivered (mergeable)",
+                Unit::Count,
+                i_merge as f64,
+            )
+            .with_note("every member query keeps receiving"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "items_unmerged",
+                "items delivered (unmergeable)",
+                Unit::Count,
+                i_nomerge as f64,
+            )
+            .with_note("every member query keeps receiving"),
+        );
+        let per_merged = e_merge / i_merge as f64;
+        let per_unmerged = e_nomerge / i_nomerge as f64;
+        ctx.push(
+            Measurement::scalar(
+                "energy_saving_ratio",
+                "energy per delivered item: unmerged / merged",
+                Unit::Ratio,
+                per_unmerged / per_merged,
+            )
+            .with_note(format!(
+                "{per_merged:.4} J merged vs {per_unmerged:.4} J unmerged"
+            )),
+        );
+
+        // Formerly inline asserts, now shared tolerance bands.
+        ctx.check_band(
+            "merged_providers",
+            "mergeable queries share one provider",
+            p_merge as f64,
+            Some(1.0),
+            Some(1.0),
+            Unit::Count,
+        );
+        ctx.check_band(
+            "unmerged_providers",
+            "distinct types cannot merge",
+            p_nomerge as f64,
+            Some(6.0),
+            Some(6.0),
+            Unit::Count,
+        );
+        ctx.check_band(
+            "merged_items_flow",
+            "merged workload keeps delivering",
+            i_merge as f64,
+            Some(1.0),
+            None,
+            Unit::Count,
+        );
+        ctx.check_band(
+            "unmerged_items_flow",
+            "unmerged workload keeps delivering",
+            i_nomerge as f64,
+            Some(1.0),
+            None,
+            Unit::Count,
+        );
+    }
+}

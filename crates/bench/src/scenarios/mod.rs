@@ -1,0 +1,29 @@
+//! The eight §6 regenerators as [`benchkit::Scenario`]s.
+//!
+//! One module per table/figure/in-text measurement set; [`all`] returns
+//! the suite in the fixed order `bench_all` runs and exports it in.
+
+pub mod ablation_cache;
+pub mod ablation_merging;
+pub mod fig4;
+pub mod fig5;
+pub mod idle;
+pub mod sm_breakup;
+pub mod table1;
+pub mod table2;
+
+use benchkit::Scenario;
+
+/// The full §6 suite, in export order.
+pub fn all() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(table1::Table1Latency),
+        Box::new(table2::Table2Energy),
+        Box::new(idle::IdlePower),
+        Box::new(fig4::Fig4PowerTrace),
+        Box::new(fig5::Fig5Failover),
+        Box::new(sm_breakup::SmBreakup),
+        Box::new(ablation_cache::AblationDiscoveryCache),
+        Box::new(ablation_merging::AblationMerging),
+    ]
+}

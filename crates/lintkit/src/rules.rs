@@ -16,7 +16,9 @@ use crate::lexer::{Tok, TokKind};
 
 /// Sim-visible crates: their library code feeds snapshots/reports, so
 /// iteration order and time sources are part of the determinism contract.
-const SIM_VISIBLE: &[&str] = &["simkit", "radio", "smartmsg", "fuego", "core", "obskit"];
+const SIM_VISIBLE: &[&str] = &[
+    "simkit", "radio", "smartmsg", "fuego", "core", "obskit", "benchkit",
+];
 
 /// Crates whose library code must propagate errors instead of panicking.
 const NO_PANIC: &[&str] = &["core", "fuego", "smartmsg", "radio", "obskit"];

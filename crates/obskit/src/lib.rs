@@ -169,6 +169,17 @@ impl Obs {
         self.inner.borrow().registry.snapshot()
     }
 
+    /// Deterministic JSON metrics snapshot (counters, gauges, histogram
+    /// p50/p90/p99); see [`Registry::snapshot_json`].
+    pub fn metrics_json(&self) -> String {
+        self.inner.borrow().registry.snapshot_json()
+    }
+
+    /// Sum of closed-span durations for one phase across the whole log.
+    pub fn phase_total(&self, phase: Phase) -> simkit::SimDuration {
+        self.inner.borrow().spans.phase_total(phase)
+    }
+
     /// JSONL span stream (byte-deterministic).
     pub fn spans_jsonl(&self) -> String {
         self.inner.borrow().spans.export_jsonl()

@@ -75,6 +75,71 @@ impl Registry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Renders a deterministic JSON snapshot of the registry.
+    ///
+    /// Schema (`obskit-metrics/1`):
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"name": 3},
+    ///   "gauges": {"name": 0.5},
+    ///   "histograms": {
+    ///     "name": {"count": 2, "sum": 105, "min": 5, "max": 100,
+    ///              "mean": 52.5, "p50": 7, "p90": 127, "p99": 127}
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// All three maps render in `BTreeMap` (name) order and quantiles
+    /// come from [`Histogram::quantile`], which is monotone in `q` — so
+    /// `p50 <= p90 <= p99` always holds and two identical recording
+    /// sequences produce byte-identical JSON (the property the same-seed
+    /// identity test pins down).
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{v}", escape_json(name));
+        }
+        out.push_str("},\"gauges\":{");
+        let mut first = true;
+        for (name, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", escape_json(name), fmt_f64_json(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{}}}",
+                escape_json(name),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                fmt_f64_json(h.mean()),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
     /// Renders a Prometheus-style text snapshot.
     ///
     /// Counters and gauges print as `name value`; histograms print
@@ -103,6 +168,36 @@ impl Registry {
             let _ = writeln!(out, "{name}_count {}", h.count());
         }
         out
+    }
+}
+
+/// JSON-escapes a metric name (names are plain identifiers in practice,
+/// but the exporter must never emit malformed JSON).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number: shortest round-trip representation
+/// (deterministic in Rust), with non-finite values mapped to `null`.
+fn fmt_f64_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
     }
 }
 
@@ -138,6 +233,53 @@ mod tests {
         assert!(s1.contains("lat_us_count 2"));
         assert!(s1.contains("lat_us_sum 105"));
         assert!(s1.contains("le=\"+Inf\"} 2"));
+    }
+
+    /// Satellite of the benchkit PR: the JSON exporter is deterministic —
+    /// two identical recording sequences (the same "seed") produce
+    /// byte-identical JSON, and quantile keys are monotone.
+    #[test]
+    fn json_snapshot_same_seed_byte_identity() {
+        let record = || {
+            let mut r = Registry::new();
+            r.counter_add("requests_total", 7);
+            r.counter_add("errors_total", 1);
+            r.gauge_set("battery_pct", 81.25);
+            r.gauge_set("rssi_dbm", -63.5);
+            for v in [100u64, 5, 0, 90_000, 17, 17, 2_000_000] {
+                r.observe("lat_us", v);
+            }
+            r.snapshot_json()
+        };
+        let a = record();
+        let b = record();
+        assert_eq!(a, b, "same recording sequence must export identical bytes");
+        assert!(a.starts_with("{\"counters\":{"));
+        assert!(a.contains("\"requests_total\":7"));
+        assert!(a.contains("\"battery_pct\":81.25"));
+        assert!(a.contains("\"lat_us\":{\"count\":7"));
+    }
+
+    #[test]
+    fn json_snapshot_quantiles_monotone() {
+        let mut r = Registry::new();
+        for v in [1u64, 2, 4, 8, 1024, 1 << 20] {
+            r.observe("h", v);
+        }
+        let h = r.histogram("h").unwrap();
+        assert!(h.quantile(0.50) <= h.quantile(0.90));
+        assert!(h.quantile(0.90) <= h.quantile(0.99));
+        let json = r.snapshot_json();
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn json_snapshot_empty_registry() {
+        assert_eq!(
+            Registry::new().snapshot_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
     }
 
     #[test]

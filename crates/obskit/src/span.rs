@@ -41,6 +41,29 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Every phase, in declaration order — the closed taxonomy exporters
+    /// iterate over (e.g. benchkit's per-phase break-up capture).
+    pub const ALL: [Phase; 18] = [
+        Phase::Connect,
+        Phase::Serialize,
+        Phase::ThreadSwitch,
+        Phase::Transfer,
+        Phase::Discovery,
+        Phase::Sdp,
+        Phase::Migrate,
+        Phase::Broker,
+        Phase::Dispatch,
+        Phase::Admission,
+        Phase::Failover,
+        Phase::Suspend,
+        Phase::Revive,
+        Phase::Switch,
+        Phase::Retry,
+        Phase::Rrc,
+        Phase::Publish,
+        Phase::Deliver,
+    ];
+
     /// Stable snake_case name used in exports.
     pub fn as_str(self) -> &'static str {
         match self {

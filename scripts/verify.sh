@@ -15,7 +15,10 @@
 # 5. the obs gate: the sm_breakup bench re-measures the paper's §6.1
 #    latency break-up from obskit spans and asserts each phase share
 #    (connection 4-5 %, serialization 26-33 %, thread switching
-#    12-14 %, transfer 51-54 %) within ±3 pp (DESIGN.md §5d).
+#    12-14 %, transfer 51-54 %) within ±3 pp (DESIGN.md §5d);
+# 6. the bench gate: bench_all re-runs the whole §6 suite, rewrites
+#    results/*.txt + BENCH_contory.json, and diffs every pinned metric
+#    against the results/baseline.json tolerance bands (DESIGN.md §5e).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -39,5 +42,8 @@ cargo run -q --release -p contory-bench --bin fig5_failover
 
 echo "==> obs gate (span-measured 6.1 break-up within +/-3pp)"
 cargo run -q --release -p contory-bench --bin sm_breakup
+
+echo "==> bench gate (full 6 suite vs results/baseline.json bands)"
+cargo run -q --release -p contory-bench --bin bench_all -- --check
 
 echo "==> verify: OK"

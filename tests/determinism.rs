@@ -8,6 +8,7 @@
 //! anywhere in the sim-visible stack shows up here as a diff.
 #![deny(warnings)]
 
+use benchkit::{Measurement, Unit};
 use contory::{CollectingClient, CxtItem, CxtValue, Mechanism, Trust};
 use radio::Position;
 use simkit::{FaultPlan, SimDuration, SimTime};
@@ -19,9 +20,16 @@ use testbed::{PhoneSetup, Testbed};
 /// Runs the Fig. 5 BT-GPS outage scenario and renders everything
 /// observable about the run into one string.
 fn run_fig5_transcript(seed: u64) -> String {
-    // Observability: the obskit exports are part of the transcript, so a
-    // nondeterministic counter, span id or export ordering diffs too.
-    let obs = obskit::Obs::new();
+    // Observability: the obskit exports and the benchkit scenario-report
+    // JSON are part of the transcript, so a nondeterministic counter,
+    // span id, float rendering or export ordering diffs too.
+    let mut ctx = benchkit::RunCtx::new(
+        "fig5_failover_transcript",
+        "Fig. 5 determinism transcript",
+        "Fig. 5",
+        seed,
+    );
+    let obs = ctx.obs().clone();
     let _obs_guard = obs.install();
     let tb = Testbed::with_seed(seed);
     let phone = tb.add_phone(PhoneSetup {
@@ -116,6 +124,36 @@ fn run_fig5_transcript(seed: u64) -> String {
     let _ = writeln!(out, "{}", obs.metrics_snapshot());
     let _ = writeln!(out, "-- obskit spans (jsonl) --");
     let _ = writeln!(out, "{}", obs.spans_jsonl());
+
+    // benchkit export: the same run assembled into a scenario report and
+    // rendered as `BENCH_contory.json` would render it — the bench JSON
+    // is part of the byte-identity contract.
+    ctx.tally_sim(&tb.sim);
+    let items = client.items_for(id);
+    ctx.push(Measurement::scalar(
+        "items_delivered",
+        "location items delivered",
+        Unit::Count,
+        items.len() as f64,
+    ));
+    if let Some(row) = report.get(id) {
+        ctx.push(Measurement::scalar(
+            "gap_max_s",
+            "longest provisioning gap",
+            Unit::Secs,
+            row.gap_max.as_secs_f64(),
+        ));
+        ctx.check_band(
+            "gap_slo",
+            "longest provisioning gap within the 45 s SLO",
+            row.gap_max.as_secs_f64(),
+            None,
+            Some(45.0),
+            Unit::Secs,
+        );
+    }
+    let _ = writeln!(out, "-- benchkit scenario report (json) --");
+    let _ = writeln!(out, "{}", ctx.finish().to_json().render());
     out
 }
 
