@@ -33,12 +33,26 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
     let write_baseline = args.iter().any(|a| a == "--write-baseline");
-    if let Some(unknown) = args
+    // `--shards N`: partition count for the scale_city run. Outputs are
+    // shard-invariant by the engine's contract; only wall-clock moves.
+    let mut rest = args
         .iter()
-        .find(|a| *a != "--check" && *a != "--write-baseline")
-    {
-        eprintln!("unknown flag '{unknown}' (known: --check, --write-baseline)");
-        std::process::exit(2);
+        .filter(|a| *a != "--check" && *a != "--write-baseline");
+    while let Some(a) = rest.next() {
+        if a == "--shards" {
+            let n = rest
+                .next()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                });
+            contory_bench::scenarios::scale_city::set_shards(n);
+        } else {
+            eprintln!("unknown flag '{a}' (known: --check, --write-baseline, --shards N)");
+            std::process::exit(2);
+        }
     }
 
     let root = repo_root();

@@ -1,4 +1,5 @@
-//! The eight §6 regenerators as [`benchkit::Scenario`]s.
+//! The eight §6 regenerators — plus the beyond-paper `scale_city` scale
+//! scenario — as [`benchkit::Scenario`]s.
 //!
 //! One module per table/figure/in-text measurement set; [`all`] returns
 //! the suite in the fixed order `bench_all` runs and exports it in.
@@ -8,13 +9,15 @@ pub mod ablation_merging;
 pub mod fig4;
 pub mod fig5;
 pub mod idle;
+pub mod scale_city;
 pub mod sm_breakup;
 pub mod table1;
 pub mod table2;
 
 use benchkit::Scenario;
 
-/// The full §6 suite, in export order.
+/// The full suite, in export order: the eight §6 regenerators followed
+/// by the partitioned-engine scale scenario.
 pub fn all() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(table1::Table1Latency),
@@ -25,5 +28,6 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
         Box::new(sm_breakup::SmBreakup),
         Box::new(ablation_cache::AblationDiscoveryCache),
         Box::new(ablation_merging::AblationMerging),
+        Box::new(scale_city::ScaleCity),
     ]
 }

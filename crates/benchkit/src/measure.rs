@@ -33,6 +33,9 @@ pub enum Unit {
     Count,
     /// Dimensionless ratio ("×").
     Ratio,
+    /// Events (or items) per second — throughput rows of the scale
+    /// scenarios.
+    PerSec,
 }
 
 impl Unit {
@@ -48,6 +51,7 @@ impl Unit {
             Unit::Percent => "%",
             Unit::Count => "count",
             Unit::Ratio => "x",
+            Unit::PerSec => "/s",
         }
     }
 
@@ -63,6 +67,7 @@ impl Unit {
             "%" => Unit::Percent,
             "count" => Unit::Count,
             "x" => Unit::Ratio,
+            "/s" => Unit::PerSec,
             _ => return None,
         })
     }
@@ -295,6 +300,7 @@ mod tests {
             Unit::Percent,
             Unit::Count,
             Unit::Ratio,
+            Unit::PerSec,
         ] {
             assert_eq!(Unit::parse(u.as_str()), Some(u));
         }

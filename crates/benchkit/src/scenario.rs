@@ -162,8 +162,15 @@ impl RunCtx {
     /// Accumulates a finished testbed's simulation cost (event count and
     /// final virtual time) into the report.
     pub fn tally_sim(&mut self, sim: &simkit::Sim) {
-        self.report.sim_events += sim.events_processed();
-        self.report.sim_time_s += sim.now().as_secs_f64();
+        self.tally_events(sim.events_processed(), sim.now());
+    }
+
+    /// Accumulates simulation cost from a run not driven by a classic
+    /// [`simkit::Sim`] (the partitioned `ShardSim` engine reports its
+    /// counters through this).
+    pub fn tally_events(&mut self, events: u64, end: simkit::SimTime) {
+        self.report.sim_events += events;
+        self.report.sim_time_s += end.as_secs_f64();
     }
 
     /// Captures the obskit collector into the report and returns it.

@@ -100,6 +100,20 @@ impl Bencher {
     }
 }
 
+/// Times one call of `f` on the wall clock, returning its output and the
+/// elapsed real time.
+///
+/// This is the sanctioned stopwatch for throughput scenarios (events/sec
+/// at scale): keeping `Instant` inside this shim keeps the
+/// `wallclock-ban` lint meaningful everywhere else. Wall readings are
+/// host-dependent by nature — callers must keep them out of any
+/// byte-identity transcript and give them wide regression bands.
+pub fn time_once<O>(f: impl FnOnce() -> O) -> (O, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
 fn env_sample_cap() -> Option<usize> {
     std::env::var_os("CRITERION_QUICK").map(|_| 10)
 }
@@ -245,5 +259,14 @@ mod tests {
     #[test]
     fn macros_compose() {
         main();
+    }
+
+    #[test]
+    fn time_once_returns_output_and_elapsed() {
+        let (out, dur) = time_once(|| {
+            std::hint::black_box((0..1000u64).sum::<u64>())
+        });
+        assert_eq!(out, 499_500);
+        assert!(dur.as_nanos() > 0);
     }
 }

@@ -102,6 +102,9 @@ pub struct FileCtx {
     pub krate: Option<String>,
     /// Target kind.
     pub kind: FileKind,
+    /// Bare file name (e.g. `shard.rs`) — lets rules scope to modules
+    /// whose *name* marks a contract, like the cross-shard merge paths.
+    pub file: String,
 }
 
 /// One reported violation.
@@ -180,11 +183,18 @@ pub fn classify(rel_path: &Path) -> FileCtx {
     } else {
         FileKind::Lib
     };
-    FileCtx { krate, kind }
+    FileCtx {
+        krate,
+        kind,
+        file: file.to_string(),
+    }
 }
 
-/// Parses a `// lint-fixture: crate=<name> kind=<kind>` directive from
-/// the head of a source file.
+/// Parses a `// lint-fixture: crate=<name> kind=<kind> [file=<name>]`
+/// directive from the head of a source file. A missing `file=` field
+/// leaves `file` empty; [`lint_file`] then falls back to the real file
+/// name, so fixtures only need the field to masquerade as a module they
+/// are not named after.
 pub fn fixture_directive(src: &str) -> Option<FileCtx> {
     for line in src.lines().take(5) {
         let Some(idx) = line.find("lint-fixture:") else {
@@ -192,14 +202,17 @@ pub fn fixture_directive(src: &str) -> Option<FileCtx> {
         };
         let mut krate = None;
         let mut kind = FileKind::Lib;
+        let mut file = String::new();
         for field in line[idx + "lint-fixture:".len()..].split_whitespace() {
             if let Some(v) = field.strip_prefix("crate=") {
                 krate = Some(v.to_string());
             } else if let Some(v) = field.strip_prefix("kind=") {
                 kind = FileKind::parse(v)?;
+            } else if let Some(v) = field.strip_prefix("file=") {
+                file = v.to_string();
             }
         }
-        return Some(FileCtx { krate, kind });
+        return Some(FileCtx { krate, kind, file });
     }
     None
 }
@@ -238,6 +251,7 @@ pub fn lint_source(path: &Path, src: &str, ctx: &FileCtx) -> RunReport {
         let applies_in_tests = (rule.applies)(&FileCtx {
             krate: ctx.krate.clone(),
             kind: FileKind::Test,
+            file: ctx.file.clone(),
         });
         if !applies_outside && !applies_in_tests {
             continue;
@@ -281,7 +295,13 @@ pub fn lint_source(path: &Path, src: &str, ctx: &FileCtx) -> RunReport {
 pub fn lint_file(root: &Path, path: &Path) -> std::io::Result<RunReport> {
     let src = std::fs::read_to_string(path)?;
     let rel = path.strip_prefix(root).unwrap_or(path);
-    let ctx = fixture_directive(&src).unwrap_or_else(|| classify(rel));
+    let mut ctx = fixture_directive(&src).unwrap_or_else(|| classify(rel));
+    if ctx.file.is_empty() {
+        ctx.file = rel
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+    }
     Ok(lint_source(rel, &src, &ctx))
 }
 
@@ -358,6 +378,14 @@ mod tests {
         FileCtx {
             krate: Some(krate.to_string()),
             kind,
+            file: "x.rs".to_string(),
+        }
+    }
+
+    fn ctx_file(krate: &str, kind: FileKind, file: &str) -> FileCtx {
+        FileCtx {
+            file: file.to_string(),
+            ..ctx(krate, kind)
         }
     }
 
@@ -452,6 +480,7 @@ mod tests {
         let c = classify(Path::new("crates/core/src/policy.rs"));
         assert_eq!(c.krate.as_deref(), Some("core"));
         assert_eq!(c.kind, FileKind::Lib);
+        assert_eq!(c.file, "policy.rs");
         let c = classify(Path::new("crates/bench/src/bin/fig5_failover.rs"));
         assert_eq!(c.kind, FileKind::Bin);
         let c = classify(Path::new("tests/full_stack.rs"));
@@ -471,6 +500,34 @@ mod tests {
         let c = fixture_directive(src).expect("directive");
         assert_eq!(c.krate.as_deref(), Some("core"));
         assert_eq!(c.kind, FileKind::Lib);
+        assert_eq!(c.file, "");
+        let src = "// lint-fixture: crate=simkit kind=lib file=shard.rs\nfn f() {}";
+        let c = fixture_directive(src).expect("directive");
+        assert_eq!(c.file, "shard.rs");
         assert!(fixture_directive("fn f() {}").is_none());
+    }
+
+    #[test]
+    fn shard_order_scoped_to_shard_files() {
+        let src = "fn merge() { let _ = items.iter().reduce(f); }";
+        assert_eq!(
+            diags(src, &ctx_file("simkit", FileKind::Lib, "shard.rs")),
+            vec![("shard-visible-order".to_string(), 1)]
+        );
+        // Same code outside a shard-named module: no hit.
+        assert!(diags(src, &ctx_file("simkit", FileKind::Lib, "sim.rs")).is_empty());
+        // Test code in a shard module is exempt (mechanism, not contract).
+        assert!(diags(src, &ctx_file("simkit", FileKind::Test, "shard.rs")).is_empty());
+        // Rayon-style parallel iteration in a shard module is flagged.
+        let par = "fn merge() { shards.par_iter().for_each(step); }";
+        assert_eq!(
+            diags(par, &ctx_file("simkit", FileKind::Lib, "shard_merge.rs")),
+            vec![("shard-visible-order".to_string(), 1)]
+        );
+        // HashMap in a shard module fires both the generic unordered-iter
+        // rule and the sharper shard rule.
+        let map = "use std::collections::HashMap;";
+        let d = diags(map, &ctx_file("simkit", FileKind::Lib, "shard.rs"));
+        assert_eq!(d.len(), 2);
     }
 }

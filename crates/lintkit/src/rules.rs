@@ -160,6 +160,48 @@ const PRINT_NEEDLES: &[Needle] = &[
     },
 ];
 
+const SHARD_ORDER_NEEDLES: &[Needle] = &[
+    Needle {
+        pat: &[I("HashMap")],
+        msg: "`HashMap` in a shard merge path: cross-shard event order must come from \
+              the `(time, actor, seq)` key, never from hash-iteration order — use \
+              `BTreeMap` or an explicitly sorted structure",
+    },
+    Needle {
+        pat: &[I("HashSet")],
+        msg: "`HashSet` in a shard merge path: cross-shard event order must come from \
+              the `(time, actor, seq)` key, never from hash-iteration order — use \
+              `BTreeSet` or an explicitly sorted structure",
+    },
+    Needle {
+        pat: &[I("rayon")],
+        msg: "`rayon` in a shard merge path: scheduling-order-dependent parallelism \
+              leaks thread count into outputs — use the deterministic barrier merge \
+              (`std::thread::scope` over fixed shard chunks)",
+    },
+    Needle {
+        pat: &[P("."), I("par_iter")],
+        msg: "`.par_iter()` in a shard merge path: parallel iteration order is \
+              scheduler-dependent — merge shard results in `(time, actor, seq)` order",
+    },
+    Needle {
+        pat: &[P("."), I("into_par_iter")],
+        msg: "`.into_par_iter()` in a shard merge path: parallel iteration order is \
+              scheduler-dependent — merge shard results in `(time, actor, seq)` order",
+    },
+    Needle {
+        pat: &[P("."), I("par_bridge")],
+        msg: "`.par_bridge()` in a shard merge path: destroys even source order — merge \
+              shard results in `(time, actor, seq)` order",
+    },
+    Needle {
+        pat: &[P("."), I("reduce"), P("(")],
+        msg: "`.reduce()` in a shard merge path: reduction grouping must not be \
+              observable — fold shard results in a fixed order (e.g. by shard id) so \
+              float/overflow effects are identical on every thread count",
+    },
+];
+
 const EXIT_NEEDLES: &[Needle] = &[Needle {
     pat: &[I("process"), P("::"), I("exit")],
     msg: "`process::exit` outside a bin target: skips destructors and kills the host \
@@ -190,6 +232,13 @@ fn applies_unwrap(ctx: &FileCtx) -> bool {
 
 fn applies_print(ctx: &FileCtx) -> bool {
     ctx.kind == FileKind::Lib
+}
+
+fn applies_shard_order(ctx: &FileCtx) -> bool {
+    // Scoped by module *name*: the partitioned-engine contract lives in
+    // files named after shards (`shard.rs`, `shard_merge.rs`, …) inside
+    // sim-visible crates. Test regions are mechanism, not contract.
+    ctx.kind == FileKind::Lib && crate_in(ctx, SIM_VISIBLE) && ctx.file.contains("shard")
 }
 
 fn applies_exit(ctx: &FileCtx) -> bool {
@@ -227,6 +276,13 @@ pub const RULES: &[Rule] = &[
         summary: "no println!/eprintln!/dbg! in library code (bins and benches exempt)",
         needles: PRINT_NEEDLES,
         applies: applies_print,
+    },
+    Rule {
+        name: "shard-visible-order",
+        summary: "no hash-order or scheduler-order dependence in shard merge paths \
+                  (files named *shard* in sim-visible crates)",
+        needles: SHARD_ORDER_NEEDLES,
+        applies: applies_shard_order,
     },
     Rule {
         name: "no-exit",

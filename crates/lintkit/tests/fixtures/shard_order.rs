@@ -1,0 +1,58 @@
+// lint-fixture: crate=simkit kind=lib file=shard.rs
+//! Fixture: shard-visible-order. Cross-shard merge paths must derive
+//! event order from the `(time, actor, seq)` key — never from hash
+//! iteration order or thread scheduling.
+
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+struct MergeState {
+    pending: HashMap<u64, u64>,
+    seen: HashSet<u64>,
+}
+
+fn merge_parallel(shards: &[Vec<u64>]) -> u64 {
+    shards.par_iter().flatten().copied().sum()
+}
+
+fn merge_owned(shards: Vec<Vec<u64>>) -> u64 {
+    shards.into_par_iter().flatten().sum()
+}
+
+fn merge_bridged(shards: impl Iterator<Item = u64>) -> u64 {
+    shards.par_bridge().sum()
+}
+
+fn fold_first(totals: &[u64]) -> Option<&u64> {
+    totals.iter().reduce(|a, _| a)
+}
+
+// The sanctioned shapes: ordered collections, fixed fold order.
+use std::collections::{BTreeMap, BTreeSet};
+
+struct OrderedMergeState {
+    pending: BTreeMap<u64, u64>,
+    seen: BTreeSet<u64>,
+}
+
+fn fold_by_shard_id(totals: &[u64]) -> u64 {
+    totals.iter().fold(0u64, |acc, t| acc.wrapping_add(*t))
+}
+
+// A keyed-lookup-only map needs a justified pragma naming both rules
+// (the generic unordered-iter rule also patrols sim-visible libs):
+struct RouteCache {
+    // lint:allow(shard-visible-order, unordered-iter) keyed lookups only, never iterated
+    slots: HashMap<u64, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code is mechanism, not contract: exempt.
+    use std::collections::HashMap;
+
+    fn scratch() -> HashMap<u32, u32> {
+        HashMap::new()
+    }
+}

@@ -4,11 +4,21 @@
 //! the Contory reproduction (phones, radios, Smart Messages, the event
 //! infrastructure and the application scenarios).
 //!
-//! The kernel is intentionally small and single-threaded: the paper's
-//! evaluation is about *latency* and *energy*, both of which we obtain by
-//! advancing a virtual clock, so wall-clock concurrency would only add
-//! non-determinism. A scenario seed fully determines every event ordering,
-//! which makes the benchmark tables exactly reproducible run-over-run.
+//! The classic kernel ([`Sim`]) is intentionally small and
+//! single-threaded: the paper's evaluation is about *latency* and
+//! *energy*, both of which we obtain by advancing a virtual clock, so
+//! wall-clock concurrency would only add non-determinism. A scenario
+//! seed fully determines every event ordering, which makes the benchmark
+//! tables exactly reproducible run-over-run.
+//!
+//! For populations far beyond the paper's regatta (the ROADMAP's
+//! city-scale north star) the [`shard`] module adds a *partitioned*
+//! engine, [`ShardSim`]: per-shard event queues under a
+//! partition-independent `(time, actor, seq)` total order, a
+//! deterministic cross-shard merge batched at time-step barriers, and
+//! optional scoped-thread parallel stepping (`parallel` feature, on by
+//! default). Same seed ⇒ byte-identical outputs for any shard or thread
+//! count, so parallelism never costs reproducibility.
 //!
 //! Main pieces:
 //!
@@ -48,6 +58,7 @@
 
 pub mod faults;
 mod rng;
+pub mod shard;
 mod sim;
 pub mod stats;
 mod time;
@@ -55,5 +66,6 @@ pub mod trace;
 
 pub use faults::{FaultInjector, FaultPlan};
 pub use rng::DetRng;
+pub use shard::{ActorId, EventCtx, EventKey, ShardConfig, ShardId, ShardSim};
 pub use sim::{Sim, TimerId};
 pub use time::{SimDuration, SimTime};

@@ -7,7 +7,18 @@
 //!
 //! Events scheduled for the same instant run in scheduling order (FIFO),
 //! which keeps simulations deterministic.
+//!
+//! Every event additionally carries a [`ShardId`] ordering tag, giving
+//! the queue the same Lamport-style `(time, shard, seq)` total order the
+//! partitioned engine ([`crate::shard::ShardSim`]) uses. A plain [`Sim`]
+//! lives entirely on shard 0, where the tag is constant and the order
+//! degenerates to the classic `(time, seq)` FIFO — existing scenarios
+//! are bit-for-bit unaffected. Components that know their delivery
+//! target's shard (radio links crossing a partition boundary) tag their
+//! events via [`Sim::schedule_at_sharded`]/[`Sim::schedule_in_sharded`],
+//! so a future move of the scenario onto `ShardSim` preserves ordering.
 
+use crate::shard::ShardId;
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -24,6 +35,7 @@ pub struct TimerId(u64);
 
 struct Entry {
     at: SimTime,
+    shard: ShardId,
     seq: u64,
     id: TimerId,
     f: Box<dyn FnOnce()>,
@@ -31,7 +43,7 @@ struct Entry {
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.shard == other.shard && self.seq == other.seq
     }
 }
 impl Eq for Entry {}
@@ -42,14 +54,18 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     // BinaryHeap is a max-heap; invert so the earliest event pops first.
+    // The `(time, shard, seq)` key matches the partitioned engine's
+    // total order; with every tag on shard 0 it is the classic
+    // `(time, seq)` FIFO.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.shard, other.seq).cmp(&(self.at, self.shard, self.seq))
     }
 }
 
 #[derive(Default)]
 struct Inner {
     now: SimTime,
+    shard: ShardId,
     next_seq: u64,
     queue: BinaryHeap<Entry>,
     cancelled: BTreeSet<TimerId>,
@@ -90,9 +106,23 @@ impl fmt::Debug for Sim {
 }
 
 impl Sim {
-    /// Creates a simulator with the clock at [`SimTime::ZERO`].
+    /// Creates a simulator with the clock at [`SimTime::ZERO`], homed on
+    /// shard 0.
     pub fn new() -> Self {
         Sim::default()
+    }
+
+    /// Creates a simulator homed on the given shard: untagged schedules
+    /// carry `shard` as their ordering tag instead of shard 0.
+    pub fn for_shard(shard: ShardId) -> Self {
+        let sim = Sim::default();
+        sim.inner.borrow_mut().shard = shard;
+        sim
+    }
+
+    /// The shard this simulator is homed on (the default ordering tag).
+    pub fn shard(&self) -> ShardId {
+        self.inner.borrow().shard
     }
 
     /// Current virtual time.
@@ -116,6 +146,27 @@ impl Sim {
     /// Events scheduled in the past run at the current time, never rewinding
     /// the clock.
     pub fn schedule_at(&self, at: SimTime, f: impl FnOnce() + 'static) -> TimerId {
+        let shard = self.shard();
+        self.schedule_at_sharded(shard, at, f)
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in(&self, delay: SimDuration, f: impl FnOnce() + 'static) -> TimerId {
+        let at = self.now() + delay;
+        self.schedule_at(at, f)
+    }
+
+    /// Schedules `f` at absolute time `at` with an explicit shard
+    /// ordering tag — the delivery-side shard of a cross-partition
+    /// event. Same-instant events order by `(shard, seq)`, matching the
+    /// partitioned engine's merge, so a scenario keeps its event order
+    /// when moved onto [`crate::shard::ShardSim`].
+    pub fn schedule_at_sharded(
+        &self,
+        shard: ShardId,
+        at: SimTime,
+        f: impl FnOnce() + 'static,
+    ) -> TimerId {
         let mut inner = self.inner.borrow_mut();
         let at = at.max(inner.now);
         let seq = inner.next_seq;
@@ -123,6 +174,7 @@ impl Sim {
         let id = TimerId(seq);
         inner.queue.push(Entry {
             at,
+            shard,
             seq,
             id,
             f: Box::new(f),
@@ -130,10 +182,16 @@ impl Sim {
         id
     }
 
-    /// Schedules `f` to run `delay` after the current time.
-    pub fn schedule_in(&self, delay: SimDuration, f: impl FnOnce() + 'static) -> TimerId {
+    /// Schedules `f` to run `delay` after the current time, tagged with
+    /// an explicit delivery shard (see [`Sim::schedule_at_sharded`]).
+    pub fn schedule_in_sharded(
+        &self,
+        shard: ShardId,
+        delay: SimDuration,
+        f: impl FnOnce() + 'static,
+    ) -> TimerId {
         let at = self.now() + delay;
-        self.schedule_at(at, f)
+        self.schedule_at_sharded(shard, at, f)
     }
 
     /// Schedules `f` to run every `interval`, starting one `interval` from
@@ -363,6 +421,60 @@ mod tests {
         let sim = Sim::new();
         sim.run_until(SimTime::from_secs(9));
         assert_eq!(sim.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn same_time_events_order_by_shard_then_seq() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // Scheduled in reverse shard order at the same instant: the
+        // shard tag, not FIFO order, must win.
+        for (shard, tag) in [(2u32, "s2"), (0, "s0a"), (1, "s1"), (0, "s0b")] {
+            let log = log.clone();
+            sim.schedule_at_sharded(ShardId(shard), SimTime::from_millis(5), move || {
+                log.borrow_mut().push(tag)
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(*log.borrow(), ["s0a", "s0b", "s1", "s2"]);
+    }
+
+    #[test]
+    fn shard_zero_tags_preserve_classic_fifo() {
+        // Tagging everything shard 0 (what every legacy caller does via
+        // plain schedule_at) must reproduce the untagged FIFO exactly.
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in ["first", "second", "third"] {
+            let log = log.clone();
+            sim.schedule_in_sharded(ShardId::ZERO, SimDuration::from_millis(5), move || {
+                log.borrow_mut().push(tag)
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(*log.borrow(), ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn for_shard_homes_untagged_schedules() {
+        let sim = Sim::for_shard(ShardId(3));
+        assert_eq!(sim.shard(), ShardId(3));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        {
+            let log = log.clone();
+            // Untagged: inherits the home shard (3).
+            sim.schedule_at(SimTime::from_millis(1), move || log.borrow_mut().push("home"));
+        }
+        {
+            let log = log.clone();
+            // Explicitly earlier shard at the same instant runs first.
+            sim.schedule_at_sharded(ShardId(1), SimTime::from_millis(1), move || {
+                log.borrow_mut().push("early-shard")
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(*log.borrow(), ["early-shard", "home"]);
+        assert_eq!(Sim::new().shard(), ShardId::ZERO);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 #                                       # results/baseline.json bands
 #   ./scripts/bench.sh --write-baseline # re-pin the baseline (review the
 #                                       # diff before committing!)
+#   ./scripts/bench.sh --shards N       # run scale_city on an N-shard
+#                                       # engine (deterministic rows must
+#                                       # not move — outputs are
+#                                       # shard-invariant by contract)
 #
 # Everything is seed-driven and sim-clock-only, so two runs write
 # byte-identical artefacts; the tier-1 suite's tests/bench_schema.rs

@@ -10,15 +10,20 @@
 #    must report zero non-allowed diagnostics (DESIGN.md §5c);
 # 3. the failure-scenario suite in isolation — every scenario runs
 #    across the three fixed seeds baked into the suite (11, 22, 33);
-# 4. the Fig. 5 failover bench, which asserts the recovery SLO
+# 4. the shard gate: the partition-invariance suite — the Fig. 5
+#    transcript and the scale_city outcome must be byte-identical
+#    across shard counts {1, 4, 16} and thread counts {1, max, 64}
+#    (DESIGN.md §5f);
+# 5. the Fig. 5 failover bench, which asserts the recovery SLO
 #    (worst provisioning gap <= 45 s) from the FailoverReport;
-# 5. the obs gate: the sm_breakup bench re-measures the paper's §6.1
+# 6. the obs gate: the sm_breakup bench re-measures the paper's §6.1
 #    latency break-up from obskit spans and asserts each phase share
 #    (connection 4-5 %, serialization 26-33 %, thread switching
 #    12-14 %, transfer 51-54 %) within ±3 pp (DESIGN.md §5d);
-# 6. the bench gate: bench_all re-runs the whole §6 suite, rewrites
-#    results/*.txt + BENCH_contory.json, and diffs every pinned metric
-#    against the results/baseline.json tolerance bands (DESIGN.md §5e).
+# 7. the bench gate: bench_all re-runs the whole §6 suite (now
+#    including scale_city at 100k devices), rewrites results/*.txt +
+#    BENCH_contory.json, and diffs every pinned metric against the
+#    results/baseline.json tolerance bands (DESIGN.md §5e).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,6 +41,9 @@ cargo test -q --test failover_scenarios
 
 echo "==> property tests (incl. fault/failover properties)"
 cargo test -q --test proptests
+
+echo "==> shard gate (partition/thread invariance, DESIGN.md 5f)"
+cargo test -q --test shard_determinism
 
 echo "==> Fig. 5 failover bench (recovery SLO)"
 cargo run -q --release -p contory-bench --bin fig5_failover

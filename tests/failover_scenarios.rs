@@ -4,7 +4,10 @@
 //!
 //! Every scenario runs across three fixed seeds and must behave the
 //! same way on each — the fault schedules, radios, provisioning and
-//! failover machinery are all deterministic.
+//! failover machinery are all deterministic. Each scenario additionally
+//! runs on a 4-shard partitioned testbed and must render the *identical*
+//! `FailoverReport` to the 1-shard run: the partition layout is pure
+//! mechanism and must never leak into failover behaviour.
 #![deny(warnings)]
 
 use contory::{
@@ -42,7 +45,15 @@ fn publish_wind(tb: &Testbed, provider: &Rc<TestbedPhone>, period: SimDuration) 
 #[test]
 fn bt_outage_fails_over_to_wifi_within_the_timeout_bound() {
     for seed in SEEDS {
-        let tb = Testbed::with_seed(seed);
+        let report_1 = bt_outage_scenario(seed, 1);
+        let report_4 = bt_outage_scenario(seed, 4);
+        assert_eq!(report_1, report_4, "seed {seed}: 4-shard report diverged");
+    }
+}
+
+fn bt_outage_scenario(seed: u64, shards: u32) -> String {
+    {
+        let tb = Testbed::with_seed_and_shards(seed, shards);
         let period = SimDuration::from_secs(10);
         let silence_periods = 5u32;
         let requester = tb.add_phone(PhoneSetup {
@@ -113,6 +124,7 @@ fn bt_outage_fails_over_to_wifi_within_the_timeout_bound() {
             timeout_bound.as_secs_f64()
         );
         assert_eq!(injector.transitions_applied(), 1, "seed {seed}: one kill edge");
+        report.to_string()
     }
 }
 
@@ -123,7 +135,15 @@ fn bt_outage_fails_over_to_wifi_within_the_timeout_bound() {
 #[test]
 fn total_blackout_terminates_on_demand_query_with_all_mechanisms_failed() {
     for seed in SEEDS {
-        let tb = Testbed::with_seed(seed);
+        let outcome_1 = total_blackout_scenario(seed, 1);
+        let outcome_4 = total_blackout_scenario(seed, 4);
+        assert_eq!(outcome_1, outcome_4, "seed {seed}: 4-shard outcome diverged");
+    }
+}
+
+fn total_blackout_scenario(seed: u64, shards: u32) -> String {
+    {
+        let tb = Testbed::with_seed_and_shards(seed, shards);
         // Nokia 6630, cell radio off, no WiFi, no internal sensors and
         // no neighbours: once BT dies there is nothing left.
         let phone = tb.add_phone(PhoneSetup {
@@ -165,6 +185,9 @@ fn total_blackout_terminates_on_demand_query_with_all_mechanisms_failed() {
             }
         }
         assert!(client.all_items().is_empty(), "seed {seed}: nothing delivered");
+        // No FailoverReport for a rejected query; the comparable outcome
+        // is the full client error stream.
+        client.errors().join("\n")
     }
 }
 
@@ -174,7 +197,15 @@ fn total_blackout_terminates_on_demand_query_with_all_mechanisms_failed() {
 #[test]
 fn blackout_suspends_long_running_query_then_recovery_probe_revives_it() {
     for seed in SEEDS {
-        let tb = Testbed::with_seed(seed);
+        let report_1 = blackout_suspend_scenario(seed, 1);
+        let report_4 = blackout_suspend_scenario(seed, 4);
+        assert_eq!(report_1, report_4, "seed {seed}: 4-shard report diverged");
+    }
+}
+
+fn blackout_suspend_scenario(seed: u64, shards: u32) -> String {
+    {
+        let tb = Testbed::with_seed_and_shards(seed, shards);
         let requester = tb.add_phone(PhoneSetup {
             metered: false,
             factory: FactoryConfig {
@@ -241,6 +272,7 @@ fn blackout_suspends_long_running_query_then_recovery_probe_revives_it() {
             client.items_for(id).len() > before,
             "seed {seed}: items resumed after recovery"
         );
+        report.to_string()
     }
 }
 
@@ -251,7 +283,15 @@ fn blackout_suspends_long_running_query_then_recovery_probe_revives_it() {
 #[test]
 fn broker_outage_suspends_infra_query_and_resumes_after() {
     for seed in SEEDS {
-        let tb = Testbed::with_seed(seed);
+        let report_1 = broker_outage_scenario(seed, 1);
+        let report_4 = broker_outage_scenario(seed, 4);
+        assert_eq!(report_1, report_4, "seed {seed}: 4-shard report diverged");
+    }
+}
+
+fn broker_outage_scenario(seed: u64, shards: u32) -> String {
+    {
+        let tb = Testbed::with_seed_and_shards(seed, shards);
         tb.add_weather_station(
             "fmi-harmaja",
             Position::new(2_000.0, 1_000.0),
@@ -322,6 +362,7 @@ fn broker_outage_suspends_infra_query_and_resumes_after() {
             Some(Mechanism::Infra),
             "seed {seed}: back on extInfra"
         );
+        phone.factory().monitor().failover_report(tb.sim.now()).to_string()
     }
 }
 
@@ -332,7 +373,15 @@ fn broker_outage_suspends_infra_query_and_resumes_after() {
 #[test]
 fn flapping_link_backoff_bounds_reassignments() {
     for seed in SEEDS {
-        let tb = Testbed::with_seed(seed);
+        let report_1 = flapping_link_scenario(seed, 1);
+        let report_4 = flapping_link_scenario(seed, 4);
+        assert_eq!(report_1, report_4, "seed {seed}: 4-shard report diverged");
+    }
+}
+
+fn flapping_link_scenario(seed: u64, shards: u32) -> String {
+    {
+        let tb = Testbed::with_seed_and_shards(seed, shards);
         let requester = tb.add_phone(PhoneSetup {
             metered: false,
             factory: FactoryConfig {
@@ -401,5 +450,6 @@ fn flapping_link_backoff_bounds_reassignments() {
             client.items_for(id).len() > end,
             "seed {seed}: items flowing after the flapping stops"
         );
+        requester.factory().monitor().failover_report(tb.sim.now()).to_string()
     }
 }

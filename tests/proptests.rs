@@ -1,6 +1,7 @@
 //! Cross-crate property-based tests (proptest): invariants of the query
 //! language, query merging, statistics, traces, the XML codec, NMEA,
-//! the event windows, and the fault-injection/failover machinery.
+//! the event windows, the fault-injection/failover machinery, and the
+//! partitioned engine's `(time, actor, seq)` merge.
 
 use contory::backoff::BackoffPolicy;
 use contory::merge::{post_extract, try_merge};
@@ -14,7 +15,7 @@ use fuego::xml::XmlElement;
 use proptest::prelude::*;
 use simkit::stats::Summary;
 use simkit::trace::TimeSeries;
-use simkit::{SimDuration, SimTime};
+use simkit::{ActorId, EventCtx, ShardConfig, ShardSim, SimDuration, SimTime};
 
 // ------------------------------------------------------------------
 // Strategies
@@ -155,6 +156,91 @@ fn item_for(select: &str) -> impl Strategy<Value = CxtItem> {
         item.metadata.completeness = acc.map(|a| a.min(1.0));
         item
     })
+}
+
+// ------------------------------------------------------------------
+// Partitioned-engine plans
+// ------------------------------------------------------------------
+
+/// Actor population the shard-merge plans run over.
+const PLAN_ACTORS: u64 = 12;
+
+/// One scheduled root event: `(actor, at_ms, payload, hops)` where each
+/// hop `(dest, delay_ms)` is a cross-actor forward executed in sequence.
+type PlanRoot = (u8, u16, u32, Vec<(u8, u16)>);
+
+/// A message chain for the shard-merge properties: executing an event
+/// appends `payload` to the actor's log, then forwards the remaining
+/// hops (payload incremented per hop) to the next destination.
+#[derive(Clone)]
+struct ChainEv {
+    payload: u32,
+    hops: Vec<(u8, u16)>,
+}
+
+fn shard_plan() -> impl Strategy<Value = Vec<PlanRoot>> {
+    proptest::collection::vec(
+        (
+            0u8..(PLAN_ACTORS as u8),
+            0u16..2000,
+            0u32..1_000_000,
+            proptest::collection::vec((0u8..(PLAN_ACTORS as u8), 0u16..400), 0..4),
+        ),
+        1..24,
+    )
+}
+
+/// Runs a plan on a `shards` × `threads` engine until idle and returns
+/// (per-actor logs in actor order, events processed, messages delivered,
+/// dead letters).
+fn run_plan(plan: &[PlanRoot], shards: u32, threads: u32) -> (Vec<Vec<u32>>, u64, u64, u64) {
+    let mut sim = ShardSim::new(
+        ShardConfig {
+            seed: 1,
+            shards,
+            threads,
+            record_transcript: false,
+        },
+        |log: &mut Vec<u32>, ctx: &mut EventCtx<'_, ChainEv>, ev: ChainEv| {
+            log.push(ev.payload);
+            let mut hops = ev.hops;
+            if !hops.is_empty() {
+                let (dest, delay) = hops.remove(0);
+                ctx.send(
+                    ActorId(u64::from(dest)),
+                    SimDuration::from_millis(u64::from(delay)),
+                    ChainEv {
+                        payload: ev.payload.wrapping_add(1),
+                        hops,
+                    },
+                );
+            }
+        },
+    );
+    for a in 0..PLAN_ACTORS {
+        assert!(sim.add_actor(ActorId(a), Vec::new()));
+    }
+    for (actor, at, payload, hops) in plan {
+        sim.schedule(
+            ActorId(u64::from(*actor)),
+            SimTime::from_millis(u64::from(*at)),
+            ChainEv {
+                payload: *payload,
+                hops: hops.clone(),
+            },
+        )
+        .expect("plan actors all registered");
+    }
+    sim.run_until_idle();
+    let logs = (0..PLAN_ACTORS)
+        .map(|a| sim.actor_state(ActorId(a)).cloned().unwrap_or_default())
+        .collect();
+    (
+        logs,
+        sim.events_processed(),
+        sim.messages_delivered(),
+        sim.dead_letters(),
+    )
 }
 
 // ------------------------------------------------------------------
@@ -514,5 +600,81 @@ proptest! {
         prop_assert_eq!(&a.0, &b.0);
         prop_assert_eq!(&a.1, &b.1);
         prop_assert_eq!(a.2, b.2);
+    }
+
+    /// `EventKey`'s ordering is exactly the lexicographic order on
+    /// `(time, actor, seq)` — a total order, antisymmetric and
+    /// transitive, with no partition component to leak.
+    #[test]
+    fn event_key_order_is_lexicographic(
+        keys in proptest::collection::vec((0u64..5000, 0u64..64, 0u64..1000), 2..40),
+    ) {
+        let mut keys: Vec<simkit::EventKey> = keys
+            .into_iter()
+            .map(|(t, a, s)| simkit::EventKey {
+                time: SimTime::from_micros(t),
+                actor: ActorId(a),
+                seq: s,
+            })
+            .collect();
+        let mut tuples: Vec<(SimTime, u64, u64)> =
+            keys.iter().map(|k| (k.time, k.actor.0, k.seq)).collect();
+        keys.sort();
+        tuples.sort();
+        for (k, t) in keys.iter().zip(&tuples) {
+            prop_assert_eq!((k.time, k.actor.0, k.seq), *t);
+        }
+        for w in keys.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+            prop_assert_eq!(w[0] < w[1], !(w[1] <= w[0]) || w[0] != w[1]);
+        }
+    }
+
+    /// No event is lost or duplicated by the cross-shard merge: for a
+    /// random schedule of forward chains, the executed-event count, the
+    /// delivery count and the multiset of (actor, payload) observations
+    /// all equal what the plan predicts.
+    #[test]
+    fn sharded_merge_loses_and_duplicates_nothing(plan in shard_plan()) {
+        let expected_events: u64 = plan.iter().map(|(_, _, _, h)| 1 + h.len() as u64).sum();
+        let expected_deliveries: u64 = plan.iter().map(|(_, _, _, h)| h.len() as u64).sum();
+        let mut expected_obs: Vec<(u64, u32)> = Vec::new();
+        for (actor, _, payload, hops) in &plan {
+            expected_obs.push((u64::from(*actor), *payload));
+            let mut p = *payload;
+            for (dest, _) in hops {
+                p = p.wrapping_add(1);
+                expected_obs.push((u64::from(*dest), p));
+            }
+        }
+        expected_obs.sort_unstable();
+
+        let (logs, events, delivered, dead) = run_plan(&plan, 3, 2);
+        prop_assert_eq!(events, expected_events);
+        prop_assert_eq!(delivered, expected_deliveries);
+        prop_assert_eq!(dead, 0);
+        let mut observed: Vec<(u64, u32)> = logs
+            .iter()
+            .enumerate()
+            .flat_map(|(a, log)| log.iter().map(move |p| (a as u64, *p)))
+            .collect();
+        observed.sort_unstable();
+        prop_assert_eq!(observed, expected_obs);
+    }
+
+    /// Merge commutativity with the sequential engine: any partition of
+    /// the same plan — including oversubscribed worker counts — produces
+    /// the sequential engine's per-actor logs, in the same order, with
+    /// the same counters.
+    #[test]
+    fn sharded_merge_matches_sequential_engine(plan in shard_plan()) {
+        let reference = run_plan(&plan, 1, 1);
+        for (shards, threads) in [(2u32, 1u32), (2, 3), (5, 2), (8, 8), (16, 4)] {
+            let sharded = run_plan(&plan, shards, threads);
+            prop_assert!(
+                sharded == reference,
+                "{shards} shards x {threads} threads diverged from sequential"
+            );
+        }
     }
 }
