@@ -34,11 +34,11 @@ static SHARDS: AtomicU32 = AtomicU32::new(0);
 /// (`bench_all --shards N`). Outputs are shard-count-invariant; only the
 /// wall-clock rows move.
 pub fn set_shards(n: u32) {
-    SHARDS.store(n.max(1), Ordering::Relaxed);
+    SHARDS.store(n.max(1), Ordering::SeqCst);
 }
 
 fn shards() -> u32 {
-    match SHARDS.load(Ordering::Relaxed) {
+    match SHARDS.load(Ordering::SeqCst) {
         0 => 16,
         n => n,
     }

@@ -182,24 +182,32 @@ impl EventWindow {
                 .find(|i| &i.cxt_type == name)
                 .and_then(|i| i.value.as_f64()),
             EventTerm::Agg { func, field } => {
-                let values: Vec<f64> = self
-                    .items
-                    .iter()
-                    .filter(|i| &i.cxt_type == field)
-                    .filter_map(|i| i.value.as_f64())
-                    .collect();
-                if *func == AggFunc::Count {
-                    return Some(values.len() as f64);
+                // Single explicit-order pass: float addition is not
+                // associative, so the accumulation order is pinned to
+                // the window's (deterministic) item order rather than
+                // left to an iterator adapter's grouping.
+                let mut count = 0usize;
+                let mut sum = 0.0f64;
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for item in self.items.iter().filter(|i| &i.cxt_type == field) {
+                    let Some(v) = item.value.as_f64() else {
+                        continue;
+                    };
+                    count += 1;
+                    sum += v;
+                    min = min.min(v);
+                    max = max.max(v);
                 }
-                if values.is_empty() {
+                if count == 0 && *func != AggFunc::Count {
                     return None;
                 }
                 Some(match func {
-                    AggFunc::Avg => values.iter().sum::<f64>() / values.len() as f64,
-                    AggFunc::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
-                    AggFunc::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-                    AggFunc::Sum => values.iter().sum(),
-                    AggFunc::Count => unreachable!("handled above"),
+                    AggFunc::Count => count as f64,
+                    AggFunc::Avg => sum / count as f64,
+                    AggFunc::Min => min,
+                    AggFunc::Max => max,
+                    AggFunc::Sum => sum,
                 })
             }
         }

@@ -155,9 +155,18 @@ impl EventNotification {
                                 XmlElement::new("fg:signature")
                                     .attr("alg", "hmac-sha1")
                                     .attr("keyinfo", "dynamos-trial-2005")
-                                    .text(format!("{digest}{}", &digest[..24])),
+                                    // The digest is fixed-width (64 hex chars), but take
+                                    // the prefixes fallibly rather than risk a panic in
+                                    // the provisioning path if the width ever changes.
+                                    .text(format!(
+                                        "{digest}{}",
+                                        digest.get(..24).unwrap_or(digest.as_str())
+                                    )),
                             )
-                            .child(XmlElement::new("fg:nonce").text(&digest[..32])),
+                            .child(
+                                XmlElement::new("fg:nonce")
+                                    .text(digest.get(..32).unwrap_or(digest.as_str())),
+                            ),
                     ),
             )
             .child(XmlElement::new("fg:body").child(self.body.clone()))

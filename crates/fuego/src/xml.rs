@@ -200,7 +200,9 @@ impl<'a> Parser<'a> {
     }
 
     fn peek_str(&self, s: &str) -> bool {
-        self.bytes[self.pos..].starts_with(s.as_bytes())
+        self.bytes
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(s.as_bytes()))
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -247,7 +249,8 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(self.err("expected a name"));
         }
-        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+        let name = self.bytes.get(start..self.pos).unwrap_or_default();
+        Ok(String::from_utf8_lossy(name).into_owned())
     }
 
     fn entity(&mut self) -> Result<char, ParseXmlError> {
@@ -255,7 +258,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         while let Some(b) = self.peek() {
             if b == b';' {
-                let ent = &self.bytes[start..self.pos];
+                let ent = self.bytes.get(start..self.pos).unwrap_or_default();
                 self.pos += 1;
                 return match ent {
                     b"amp" => Ok('&'),

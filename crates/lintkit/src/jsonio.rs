@@ -1,0 +1,244 @@
+//! Minimal hand-rolled JSON for the machine-readable lint report and
+//! the ratchet baseline (the crate stays dependency-free).
+//!
+//! Two schemas, both versioned:
+//!
+//! - `contory-lint/1` — the full report emitted by `--json`: rule
+//!   catalog hits, per-file diagnostics, the computed sim-visible crate
+//!   set and the `(rule, path) → count` table the ratchet operates on.
+//! - `contory-lint-baseline/1` — the checked-in ratchet baseline
+//!   (`results/lint_baseline.json`): just the count table. Legacy
+//!   findings are pinned; any *new* finding (a count above baseline or
+//!   a `(rule, path)` pair the baseline never saw) fails the gate, the
+//!   same polarity as benchkit's `results/baseline.json` bands.
+//!
+//! The parser accepts exactly the subset the renderer produces
+//! (objects, arrays, strings with `\"`/`\\`/`\n` escapes, unsigned
+//! integers) — enough to round-trip our own files, nothing more.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Report schema identifier.
+pub const REPORT_SCHEMA: &str = "contory-lint/1";
+/// Baseline schema identifier.
+pub const BASELINE_SCHEMA: &str = "contory-lint-baseline/1";
+
+/// Escapes a string for JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (subset)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (subset: no floats, no null/bool needed yet).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// String.
+    Str(String),
+    /// Unsigned integer.
+    Num(u64),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object with insertion-stable (sorted) keys.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String content, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content, if a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Array items, if an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document (the renderer's subset). Returns a
+/// human-readable error on malformed input.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while c.get(*pos).is_some_and(|ch| ch.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(c: &[char], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(c, pos);
+    match c.get(*pos) {
+        Some('"') => parse_string(c, pos).map(Value::Str),
+        Some('{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(c, pos);
+                let key = parse_string(c, pos)?;
+                skip_ws(c, pos);
+                if c.get(*pos) != Some(&':') {
+                    return Err(format!("expected `:` at offset {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(c, pos)?;
+                map.insert(key, val);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Value::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(c, pos)?);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(arr));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+                }
+            }
+        }
+        Some(d) if d.is_ascii_digit() => {
+            let mut n: u64 = 0;
+            while let Some(d) = c.get(*pos).and_then(|ch| ch.to_digit(10)) {
+                n = n.saturating_mul(10).saturating_add(d as u64);
+                *pos += 1;
+            }
+            Ok(Value::Num(n))
+        }
+        other => Err(format!("unexpected {other:?} at offset {pos}")),
+    }
+}
+
+fn parse_string(c: &[char], pos: &mut usize) -> Result<String, String> {
+    if c.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&ch) = c.get(*pos) {
+        *pos += 1;
+        match ch {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = c.get(*pos).copied().unwrap_or('"');
+                *pos += 1;
+                match esc {
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'u' => {
+                        let hex: String = c[*pos..(*pos + 4).min(c.len())].iter().collect();
+                        *pos = (*pos + 4).min(c.len());
+                        if let Ok(n) = u32::from_str_radix(&hex, 16) {
+                            out.push(char::from_u32(n).unwrap_or('\u{fffd}'));
+                        }
+                    }
+                    e => out.push(e),
+                }
+            }
+            ch => out.push(ch),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_subset() {
+        let src = r#"{"schema":"contory-lint-baseline/1","counts":[{"rule":"panic-reachable","path":"crates/simkit/src/sim.rs","count":3}]}"#;
+        let v = parse(src).expect("parse");
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some(BASELINE_SCHEMA)
+        );
+        let counts = v.get("counts").and_then(Value::as_arr).expect("counts");
+        assert_eq!(counts[0].get("count").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn escapes_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let v = parse("\"a\\\"b\\\\c\\nd\"").expect("parse");
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}x").is_err());
+    }
+}

@@ -66,6 +66,9 @@ pub struct Pragma {
     pub rules: Vec<String>,
     /// Line the comment starts on.
     pub line: u32,
+    /// 1-based column the comment starts on (for pragma-hygiene
+    /// diagnostics such as `unused-pragma`).
+    pub col: u32,
     /// True if no token precedes the comment on its line: the pragma
     /// then applies to the *following* line instead of its own.
     pub standalone: bool,
@@ -118,7 +121,7 @@ fn is_ident_continue(c: char) -> bool {
 }
 
 /// Extracts every `lint:allow(a, b)` occurrence from a comment body.
-fn pragmas_in_comment(body: &str, line: u32, standalone: bool, out: &mut Vec<Pragma>) {
+fn pragmas_in_comment(body: &str, line: u32, col: u32, standalone: bool, out: &mut Vec<Pragma>) {
     let mut rest = body;
     while let Some(idx) = rest.find("lint:allow(") {
         let after = &rest[idx + "lint:allow(".len()..];
@@ -132,6 +135,7 @@ fn pragmas_in_comment(body: &str, line: u32, standalone: bool, out: &mut Vec<Pra
             out.push(Pragma {
                 rules,
                 line,
+                col,
                 standalone,
             });
         }
@@ -170,7 +174,14 @@ pub fn lex(src: &str) -> Lexed {
                     body.push(ch);
                     cur.bump();
                 }
-                pragmas_in_comment(&body, line, last_tok_line != line, &mut out.pragmas);
+                // Doc comments (`///`, `//!`) are documentation, not
+                // directives: `lint:allow` examples inside them must
+                // not register as pragmas (pragma hygiene would flag
+                // them as stale).
+                let doc = body.starts_with("///") || body.starts_with("//!");
+                if !doc {
+                    pragmas_in_comment(&body, line, col, last_tok_line != line, &mut out.pragmas);
+                }
             }
             '/' if cur.peek_at(1) == Some('*') => {
                 // Block comment, nestable.
@@ -198,7 +209,11 @@ pub fn lex(src: &str) -> Lexed {
                         (None, _) => break,
                     }
                 }
-                pragmas_in_comment(&body, line, standalone, &mut out.pragmas);
+                // `/**` / `/*!` doc blocks: documentation, not directives.
+                let doc = body.starts_with('*') || body.starts_with('!');
+                if !doc {
+                    pragmas_in_comment(&body, line, col, standalone, &mut out.pragmas);
+                }
             }
             '"' => {
                 cur.bump();

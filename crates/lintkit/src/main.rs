@@ -1,33 +1,62 @@
-//! CLI for the lintkit static pass.
+//! CLI for the lintkit workspace analysis.
 //!
 //! ```text
-//! cargo run -p lintkit -- --workspace          # lint the whole repo
-//! cargo run -p lintkit -- path/to/file.rs ...  # lint specific files
-//! cargo run -p lintkit -- --list-rules         # print the catalog
+//! cargo run -p lintkit -- --workspace                       # full analysis
+//! cargo run -p lintkit -- --workspace --json                # machine-readable report
+//! cargo run -p lintkit -- --workspace --baseline results/lint_baseline.json
+//! cargo run -p lintkit -- --workspace --write-baseline results/lint_baseline.json
+//! cargo run -p lintkit -- --sim-visible                     # computed crate set
+//! cargo run -p lintkit -- --explain panic-reachable         # rule documentation
+//! cargo run -p lintkit -- path/to/file.rs ...               # lint specific files
+//! cargo run -p lintkit -- --list-rules                      # print the catalog
 //! ```
 //!
-//! Exit status: 0 when clean, 1 when any non-allowed diagnostic was
-//! produced, 2 on usage or I/O errors.
+//! Exit status: 0 when clean (with `--baseline`: no ratchet regression),
+//! 1 when any non-allowed diagnostic / regression was produced, 2 on
+//! usage or I/O errors.
 
-use lintkit::{catalog, find_workspace_root, lint_file, lint_workspace, RunReport};
+use lintkit::{
+    catalog, find_workspace_root, fixture_directive, lint_file, ratchet, rules, Analysis,
+    RunReport,
+};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lintkit [--workspace] [--root <dir>] [--list-rules] [files...]\n\
+        "usage: lintkit [--workspace] [--root <dir>] [--json] [--sim-visible]\n\
+         \x20              [--baseline <path>] [--write-baseline <path>]\n\
+         \x20              [--list-rules] [--explain <rule>] [files...]\n\
          \n\
-         --workspace    lint every workspace .rs file (skips target/, fixtures/)\n\
-         --root <dir>   workspace root (default: auto-detected)\n\
-         --list-rules   print the rule catalog and exit"
+         --workspace            lint every workspace .rs file with computed reachability\n\
+         --root <dir>           workspace root (default: auto-detected)\n\
+         --json                 emit the machine-readable report (schema contory-lint/1)\n\
+         --sim-visible          print the computed sim-visible crate set and exit\n\
+         --baseline <path>      ratchet mode: fail only on findings above the pinned\n\
+         \x20                      counts in <path> (schema contory-lint-baseline/1)\n\
+         --write-baseline <path>  re-base: pin the current findings into <path>\n\
+         --list-rules           print the rule catalog and exit\n\
+         --explain <rule>       print the long-form documentation of one rule"
     );
     ExitCode::from(2)
+}
+
+fn print_diags(report: &RunReport) {
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workspace = false;
     let mut list_rules = false;
+    let mut json = false;
+    let mut sim_visible = false;
+    let mut explain: Option<String> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut it = args.into_iter();
@@ -35,6 +64,20 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--list-rules" => list_rules = true,
+            "--json" => json = true,
+            "--sim-visible" => sim_visible = true,
+            "--explain" => match it.next() {
+                Some(rule) => explain = Some(rule),
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--write-baseline" => match it.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage(),
@@ -51,10 +94,20 @@ fn main() -> ExitCode {
             println!("  {:<20} {}", rule.name, rule.summary);
         }
         println!("\nsuppress a hit with `// lint:allow(<rule>)` on the same line");
-        println!("(or standalone on the line above), plus a justification.");
+        println!("(or standalone on the line above), plus a justification;");
+        println!("`lintkit --explain <rule>` prints the full rationale.");
         return ExitCode::SUCCESS;
     }
-    if !workspace && files.is_empty() {
+    if let Some(name) = explain {
+        let Some(rule) = rules::rule_by_name(&name) else {
+            eprintln!("lintkit: unknown rule `{name}` (see --list-rules)");
+            return ExitCode::from(2);
+        };
+        println!("{} — {}\n", rule.name, rule.summary);
+        println!("{}", rule.explain);
+        return ExitCode::SUCCESS;
+    }
+    if !workspace && !sim_visible && files.is_empty() {
         return usage();
     }
 
@@ -67,34 +120,159 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut report = RunReport::default();
-    if workspace {
-        match lint_workspace(&root) {
-            Ok(r) => report = r,
+    // File-only invocations on fixture files skip the (costlier)
+    // workspace analysis; anything else gets real reachability flags.
+    let need_analysis = workspace
+        || sim_visible
+        || files.iter().any(|f| {
+            std::fs::read_to_string(f)
+                .map(|src| fixture_directive(&src).is_none())
+                .unwrap_or(true)
+        });
+    let analysis = if need_analysis {
+        match Analysis::analyze(&root) {
+            Ok(a) => Some(a),
             Err(e) => {
-                eprintln!("lintkit: workspace walk failed: {e}");
+                eprintln!("lintkit: workspace analysis failed: {e}");
                 return ExitCode::from(2);
             }
         }
+    } else {
+        None
+    };
+
+    if sim_visible {
+        let analysis = analysis.as_ref().expect("analysis present");
+        for krate in analysis.sim_visible() {
+            println!("{krate}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut report = RunReport::default();
+    if workspace {
+        report = analysis.as_ref().expect("analysis present").lint_all();
     }
     for file in &files {
         let path: &Path = file.as_ref();
-        match lint_file(&root, path) {
-            Ok(r) => {
-                report.diagnostics.extend(r.diagnostics);
-                report.allowed += r.allowed;
-                report.files += r.files;
-            }
-            Err(e) => {
-                eprintln!("lintkit: {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        }
+        let graph_backed = analysis.as_ref().and_then(|a| {
+            let abs = path
+                .canonicalize()
+                .unwrap_or_else(|_| path.to_path_buf());
+            a.lint_path(&abs).or_else(|| a.lint_path(path))
+        });
+        let r = match graph_backed {
+            Some(r) => r,
+            None => match lint_file(&root, path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("lintkit: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        report.diagnostics.extend(r.diagnostics);
+        report.allowed += r.allowed;
+        report.files += r.files;
     }
 
-    for diag in &report.diagnostics {
-        println!("{diag}");
+    let visible: BTreeSet<String> = analysis
+        .as_ref()
+        .map(|a| a.sim_visible().clone())
+        .unwrap_or_default();
+
+    if let Some(path) = write_baseline {
+        let counts = ratchet::counts_of(&report);
+        let rendered = ratchet::Baseline::render(&counts);
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("lintkit: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "lintkit: baseline written to {} ({} finding(s) pinned)",
+            path.display(),
+            report.diagnostics.len()
+        );
+        return ExitCode::SUCCESS;
     }
+
+    // With a baseline, the ratchet diff decides the exit code in both
+    // human and JSON modes; loading errors are usage errors either way.
+    let ratchet_diff = match &baseline {
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("lintkit: read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let base = match ratchet::Baseline::parse(&src) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("lintkit: baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            Some(ratchet::diff(&ratchet::counts_of(&report), &base))
+        }
+        None => None,
+    };
+
+    if json {
+        print!("{}", ratchet::render_report(&report, &visible));
+        let clean = match &ratchet_diff {
+            Some(diff) => diff.regressions.is_empty(),
+            None => report.is_clean(),
+        };
+        return if clean {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if let (Some(diff), Some(path)) = (ratchet_diff, baseline) {
+        if !diff.regressions.is_empty() {
+            // Print the concrete diagnostics behind each regressed
+            // (rule, path) pair so the offending lines are clickable.
+            for reg in &diff.regressions {
+                for d in &report.diagnostics {
+                    if d.rule == reg.rule && d.path.display().to_string() == reg.path {
+                        println!("{d}");
+                    }
+                }
+                println!(
+                    "lintkit: ratchet regression: {} finding(s) of `{}` in {} (baseline pins {})",
+                    reg.current, reg.rule, reg.path, reg.pinned
+                );
+            }
+            println!(
+                "lintkit: {} ratchet regression(s); fix them or re-base deliberately with \
+                 --write-baseline {}",
+                diff.regressions.len(),
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        for imp in &diff.improvements {
+            println!(
+                "lintkit: note: `{}` in {} improved ({} → {}); re-base with --write-baseline \
+                 to lock in",
+                imp.rule, imp.path, imp.pinned, imp.current
+            );
+        }
+        println!(
+            "lintkit: ratchet clean — {} file(s), {} legacy finding(s) pinned, {} allowed \
+             by pragma",
+            report.files,
+            diff.pinned_total,
+            report.allowed
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    print_diags(&report);
     if report.is_clean() {
         println!(
             "lintkit: clean — {} file(s) scanned, {} hit(s) allowed by pragma",

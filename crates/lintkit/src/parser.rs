@@ -1,0 +1,797 @@
+//! A hand-rolled, dependency-free *item-level* Rust parser on top of
+//! [`crate::lexer`].
+//!
+//! The symbol graph ([`crate::graph`]) does not need a full expression
+//! grammar — it needs to know, for every file:
+//!
+//! - which `fn` items exist (free functions, `impl` methods, `trait`
+//!   methods), with their inline-module path, visibility and the token
+//!   span of signature and body;
+//! - which `use` declarations are in scope (including `pub use`
+//!   re-exports, grouped trees and `as` renames), so call-site paths
+//!   can be resolved to their defining crate; and
+//! - which paths and method names each `fn` body references, so
+//!   call/reference edges can be drawn.
+//!
+//! The parser is a single forward pass over the token stream with
+//! matched-delimiter skipping. It is deliberately *recovering*: any
+//! construct it does not understand is skipped by advancing at least
+//! one token, so it **never panics and always terminates** on arbitrary
+//! token streams (there is a propcheck property pinning exactly that,
+//! `tests/parser_props.rs`). Malformed input degrades to fewer items,
+//! never to an error — the right polarity for a linter.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Keywords that terminate identifier-path collection and are excluded
+/// from reference extraction.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "trait", "true", "type", "union", "unsafe",
+    "use", "where", "while",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// One path or method reference extracted from a `fn` body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ref {
+    /// Path segments (`["benchkit", "Scenario", "run"]`). For a method
+    /// reference this is the bare method name.
+    pub segments: Vec<String>,
+    /// True for `.name(...)`-style method references.
+    pub method: bool,
+    /// True when the reference is immediately invoked (`(` follows,
+    /// possibly after a turbofish).
+    pub called: bool,
+}
+
+/// One `use` declaration binding (a grouped tree contributes several).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseDecl {
+    /// Inline-module path of the declaration within the file.
+    pub module: Vec<String>,
+    /// Full target path; a glob import ends with a `*` segment.
+    pub path: Vec<String>,
+    /// Name the import binds (`as` rename honoured; empty for globs).
+    pub alias: String,
+    /// True for `pub use` (a re-export).
+    pub is_pub: bool,
+}
+
+/// One `fn` item (free, impl method or trait method).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Inline-module path within the file (file-level = empty).
+    pub module: Vec<String>,
+    /// Enclosing `impl`/`trait` self-type name (`impl Tr for Ty` → `Ty`,
+    /// `impl Ty` → `Ty`, `trait Tr` → `Tr`).
+    pub self_type: Option<String>,
+    /// Trait name when inside `impl Tr for Ty`.
+    pub trait_impl: Option<String>,
+    /// Declared `pub` (any visibility restriction counts as pub for
+    /// graph purposes — `pub(crate)` is callable across modules).
+    pub is_pub: bool,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token span `[open_brace, close_brace]` of the body, if any
+    /// (trait method declarations without bodies have `None`).
+    pub body: Option<(usize, usize)>,
+    /// References extracted from the body.
+    pub refs: Vec<Ref>,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` item in the file, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `use` binding in the file.
+    pub uses: Vec<UseDecl>,
+}
+
+/// Context of the surrounding item while parsing.
+#[derive(Clone, Debug, Default)]
+struct ItemCtx {
+    self_type: Option<String>,
+    trait_impl: Option<String>,
+}
+
+struct Parser<'a> {
+    t: &'a [Tok],
+    out: ParsedFile,
+}
+
+/// Parses a lexed token stream into items.
+pub fn parse(tokens: &[Tok]) -> ParsedFile {
+    let mut p = Parser {
+        t: tokens,
+        out: ParsedFile::default(),
+    };
+    let end = tokens.len();
+    let mut module = Vec::new();
+    p.items(0, end, &mut module, &ItemCtx::default());
+    p.out
+}
+
+impl<'a> Parser<'a> {
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        self.t.get(i).and_then(|t| {
+            if t.kind == TokKind::Ident {
+                Some(t.text.as_str())
+            } else {
+                None
+            }
+        })
+    }
+
+    fn punct_at(&self, i: usize, p: &str) -> bool {
+        self.t.get(i).is_some_and(|t| t.is_punct(p))
+    }
+
+    /// Index just past the delimiter matching the opener at `open`
+    /// (which must be at `open`). Counts only the same delimiter kind;
+    /// an unterminated region returns `end`.
+    fn skip_matched(&self, open: usize, end: usize, o: &str, c: &str) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            if self.punct_at(i, o) {
+                depth += 1;
+            } else if self.punct_at(i, c) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips a generics list starting at `<`. `->` arrows inside are
+    /// ignored so `impl<F: Fn() -> u32>` does not unbalance the scan.
+    fn skip_generics(&self, start: usize, end: usize) -> usize {
+        if !self.punct_at(start, "<") {
+            return start;
+        }
+        let mut depth = 0i64;
+        let mut i = start;
+        while i < end {
+            if self.punct_at(i, "<") {
+                depth += 1;
+            } else if self.punct_at(i, ">") && !(i > 0 && self.punct_at(i - 1, "-")) {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips attributes (`#[...]`, `#![...]`) starting at `i`.
+    fn skip_attrs(&self, mut i: usize, end: usize) -> usize {
+        loop {
+            if self.punct_at(i, "#") && (self.punct_at(i + 1, "[") || self.punct_at(i + 1, "!")) {
+                let open = if self.punct_at(i + 1, "[") { i + 1 } else { i + 2 };
+                if self.punct_at(open, "[") {
+                    i = self.skip_matched(open, end, "[", "]");
+                    continue;
+                }
+            }
+            return i;
+        }
+    }
+
+    /// Parses the items in `[i, end)` under module path `module`.
+    fn items(&mut self, mut i: usize, end: usize, module: &mut Vec<String>, ctx: &ItemCtx) {
+        while i < end {
+            let before = i;
+            i = self.skip_attrs(i, end);
+            let mut is_pub = false;
+            if self.ident_at(i) == Some("pub") {
+                is_pub = true;
+                i += 1;
+                if self.punct_at(i, "(") {
+                    i = self.skip_matched(i, end, "(", ")");
+                }
+            }
+            // Qualifiers that may precede `fn`.
+            let mut j = i;
+            while matches!(self.ident_at(j), Some("unsafe" | "async" | "default")) {
+                j += 1;
+            }
+            if self.ident_at(j) == Some("const") && self.ident_at(j + 1) == Some("fn") {
+                j += 1; // `const fn`
+            }
+            if self.ident_at(j) == Some("extern") {
+                // `extern "C" fn`
+                let mut k = j + 1;
+                if self.t.get(k).is_some_and(|t| t.kind == TokKind::Literal) {
+                    k += 1;
+                }
+                if self.ident_at(k) == Some("fn") {
+                    j = k;
+                }
+            }
+            if self.ident_at(j) == Some("fn") {
+                i = self.parse_fn(j, end, module, ctx, is_pub);
+            } else {
+                match self.ident_at(i) {
+                    Some("mod") => {
+                        let name = self.ident_at(i + 1).unwrap_or("").to_string();
+                        if self.punct_at(i + 2, "{") {
+                            let close = self.skip_matched(i + 2, end, "{", "}");
+                            module.push(name);
+                            self.items(i + 3, close.saturating_sub(1), module, ctx);
+                            module.pop();
+                            i = close;
+                        } else {
+                            i = self.seek_semicolon(i + 1, end);
+                        }
+                    }
+                    Some("use") => {
+                        i = self.parse_use(i + 1, end, module, is_pub);
+                    }
+                    Some("impl") => {
+                        i = self.parse_impl(i + 1, end, module);
+                    }
+                    Some("trait") => {
+                        let after_name = i + 2;
+                        let name = self.ident_at(i + 1).unwrap_or("").to_string();
+                        let mut k = self.skip_generics(after_name, end);
+                        // Scan to the trait body `{` (past `:` bounds /
+                        // `where` clauses) at angle/paren depth 0.
+                        while k < end && !self.punct_at(k, "{") && !self.punct_at(k, ";") {
+                            if self.punct_at(k, "<") {
+                                k = self.skip_generics(k, end);
+                            } else if self.punct_at(k, "(") {
+                                k = self.skip_matched(k, end, "(", ")");
+                            } else {
+                                k += 1;
+                            }
+                        }
+                        if self.punct_at(k, "{") {
+                            let close = self.skip_matched(k, end, "{", "}");
+                            let inner = ItemCtx {
+                                self_type: Some(name),
+                                trait_impl: None,
+                            };
+                            self.items(k + 1, close.saturating_sub(1), module, &inner);
+                            i = close;
+                        } else {
+                            i = (k + 1).max(i + 1);
+                        }
+                    }
+                    Some("struct" | "enum" | "union") => {
+                        i = self.skip_struct_like(i + 1, end);
+                    }
+                    Some("static" | "const" | "type") => {
+                        i = self.seek_semicolon(i + 1, end);
+                    }
+                    Some("macro_rules") => {
+                        // macro_rules ! name { ... }
+                        let mut k = i + 1;
+                        while k < end && !self.punct_at(k, "{") && !self.punct_at(k, "(") {
+                            k += 1;
+                        }
+                        i = if self.punct_at(k, "{") {
+                            self.skip_matched(k, end, "{", "}")
+                        } else if self.punct_at(k, "(") {
+                            self.skip_matched(k, end, "(", ")")
+                        } else {
+                            k
+                        };
+                    }
+                    Some("extern") => {
+                        // extern block or extern crate
+                        let mut k = i + 1;
+                        while k < end && !self.punct_at(k, "{") && !self.punct_at(k, ";") {
+                            k += 1;
+                        }
+                        i = if self.punct_at(k, "{") {
+                            self.skip_matched(k, end, "{", "}")
+                        } else {
+                            k + 1
+                        };
+                    }
+                    _ => {
+                        if self.punct_at(i, "{") {
+                            i = self.skip_matched(i, end, "{", "}");
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            if i <= before {
+                // Guarantee forward progress on any input.
+                i = before + 1;
+            }
+        }
+    }
+
+    /// Advances past the next `;` at brace depth 0 (handles
+    /// `const X: T = { .. };` initialisers).
+    fn seek_semicolon(&self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            if self.punct_at(i, "{") {
+                i = self.skip_matched(i, end, "{", "}");
+                continue;
+            }
+            if self.punct_at(i, ";") {
+                return i + 1;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips a struct/enum/union item from just past the keyword.
+    fn skip_struct_like(&self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            if self.punct_at(i, "<") {
+                i = self.skip_generics(i, end);
+                continue;
+            }
+            if self.punct_at(i, "(") {
+                // Tuple struct: `struct X(..);`
+                i = self.skip_matched(i, end, "(", ")");
+                continue;
+            }
+            if self.punct_at(i, "{") {
+                return self.skip_matched(i, end, "{", "}");
+            }
+            if self.punct_at(i, ";") {
+                return i + 1;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Parses `use <tree>;` into flat [`UseDecl`] bindings.
+    fn parse_use(&mut self, start: usize, end: usize, module: &[String], is_pub: bool) -> usize {
+        let stop = self.seek_semicolon(start, end);
+        let tree_end = stop.saturating_sub(1); // index of `;` (or end)
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(start, tree_end, &mut prefix, module, is_pub);
+        stop
+    }
+
+    /// Recursively walks one use-tree between `[i, end)`.
+    fn use_tree(
+        &mut self,
+        mut i: usize,
+        end: usize,
+        prefix: &mut Vec<String>,
+        module: &[String],
+        is_pub: bool,
+    ) {
+        let base_len = prefix.len();
+        let flush = |p: &mut Vec<String>, alias: Option<String>, slf: &mut Self| {
+            if p.len() == base_len {
+                return;
+            }
+            let alias = alias.unwrap_or_else(|| {
+                let last = p.last().map(String::as_str).unwrap_or("");
+                if last == "*" {
+                    String::new()
+                } else {
+                    last.to_string()
+                }
+            });
+            slf.out.uses.push(UseDecl {
+                module: module.to_vec(),
+                path: p.clone(),
+                alias,
+                is_pub,
+            });
+            p.truncate(base_len);
+        };
+        while i < end {
+            if let Some(id) = self.ident_at(i) {
+                if id == "as" {
+                    let alias = self.ident_at(i + 1).map(str::to_string);
+                    flush(prefix, alias, self);
+                    i += 2;
+                    continue;
+                }
+                prefix.push(id.to_string());
+                i += 1;
+            } else if self.punct_at(i, "*") {
+                prefix.push("*".to_string());
+                i += 1;
+            } else if self.punct_at(i, "::") {
+                i += 1;
+            } else if self.punct_at(i, "{") {
+                let close = self.skip_matched(i, end, "{", "}");
+                // Split the group body on top-level commas.
+                let inner_end = close.saturating_sub(1);
+                let mut seg_start = i + 1;
+                let mut k = i + 1;
+                let mut depth = 0usize;
+                while k <= inner_end {
+                    if k == inner_end || (self.punct_at(k, ",") && depth == 0) {
+                        if k > seg_start {
+                            let mut sub = prefix.clone();
+                            self.use_tree(seg_start, k, &mut sub, module, is_pub);
+                        }
+                        seg_start = k + 1;
+                    } else if self.punct_at(k, "{") {
+                        depth += 1;
+                    } else if self.punct_at(k, "}") {
+                        depth = depth.saturating_sub(1);
+                    }
+                    k += 1;
+                }
+                prefix.truncate(base_len);
+                i = close;
+                continue;
+            } else if self.punct_at(i, ",") {
+                flush(prefix, None, self);
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+        flush(prefix, None, self);
+    }
+
+    /// Parses the `impl` header from just past the keyword and then its
+    /// items; returns the index past the body.
+    fn parse_impl(&mut self, start: usize, end: usize, module: &mut Vec<String>) -> usize {
+        let mut i = self.skip_generics(start, end);
+        // Collect header tokens until the body `{` (or `;`), splitting
+        // trait and self type at a top-level `for`.
+        let mut names: Vec<Vec<String>> = vec![Vec::new()];
+        while i < end && !self.punct_at(i, "{") && !self.punct_at(i, ";") {
+            if self.punct_at(i, "<") {
+                i = self.skip_generics(i, end);
+                continue;
+            }
+            if self.punct_at(i, "(") {
+                i = self.skip_matched(i, end, "(", ")");
+                continue;
+            }
+            match self.ident_at(i) {
+                Some("for") => names.push(Vec::new()),
+                Some("where") => {
+                    // `where` bounds may reference types; stop collecting.
+                    while i < end && !self.punct_at(i, "{") && !self.punct_at(i, ";") {
+                        if self.punct_at(i, "<") {
+                            i = self.skip_generics(i, end);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    break;
+                }
+                Some(id) if !is_keyword(id) => {
+                    if let Some(v) = names.last_mut() {
+                        v.push(id.to_string());
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let (trait_impl, self_type) = if names.len() >= 2 {
+            (
+                names[0].last().cloned(),
+                names[1].last().cloned(),
+            )
+        } else {
+            (None, names[0].last().cloned())
+        };
+        if self.punct_at(i, "{") {
+            let close = self.skip_matched(i, end, "{", "}");
+            let ctx = ItemCtx {
+                self_type,
+                trait_impl,
+            };
+            self.items(i + 1, close.saturating_sub(1), module, &ctx);
+            close
+        } else {
+            i + 1
+        }
+    }
+
+    /// Parses one `fn` from the `fn` keyword index; returns index past it.
+    fn parse_fn(
+        &mut self,
+        fn_idx: usize,
+        end: usize,
+        module: &[String],
+        ctx: &ItemCtx,
+        is_pub: bool,
+    ) -> usize {
+        let name = match self.ident_at(fn_idx + 1) {
+            Some(n) => n.to_string(),
+            None => return fn_idx + 1,
+        };
+        let mut i = self.skip_generics(fn_idx + 2, end);
+        if self.punct_at(i, "(") {
+            i = self.skip_matched(i, end, "(", ")");
+        }
+        // Return type / where clause: scan to the body `{` or a `;`
+        // at paren/bracket depth 0.
+        let mut depth = 0usize;
+        while i < end {
+            if self.punct_at(i, "(") || self.punct_at(i, "[") {
+                depth += 1;
+            } else if self.punct_at(i, ")") || self.punct_at(i, "]") {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && (self.punct_at(i, "{") || self.punct_at(i, ";")) {
+                break;
+            }
+            i += 1;
+        }
+        let (body, after) = if self.punct_at(i, "{") {
+            let close = self.skip_matched(i, end, "{", "}");
+            (Some((i, close.saturating_sub(1))), close)
+        } else {
+            (None, (i + 1).min(end))
+        };
+        let refs = match body {
+            Some((lo, hi)) => extract_refs(self.t, lo + 1, hi),
+            None => Vec::new(),
+        };
+        self.out.fns.push(FnItem {
+            name,
+            module: module.to_vec(),
+            self_type: ctx.self_type.clone(),
+            trait_impl: ctx.trait_impl.clone(),
+            is_pub,
+            sig_start: fn_idx,
+            body,
+            refs,
+        });
+        after
+    }
+}
+
+/// Extracts path and method references from the token range `[lo, hi)`.
+pub fn extract_refs(t: &[Tok], lo: usize, hi: usize) -> Vec<Ref> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    let punct_at = |i: usize, p: &str| t.get(i).is_some_and(|x| x.is_punct(p));
+    let ident_at = |i: usize| -> Option<&str> {
+        t.get(i).and_then(|x| {
+            if x.kind == TokKind::Ident {
+                Some(x.text.as_str())
+            } else {
+                None
+            }
+        })
+    };
+    let skip_turbofish = |mut k: usize| -> usize {
+        // `::< ... >` — returns index past `>`; `k` sits on `::`.
+        if punct_at(k, "::") && punct_at(k + 1, "<") {
+            let mut depth = 0i64;
+            let mut j = k + 1;
+            while j < hi {
+                if punct_at(j, "<") {
+                    depth += 1;
+                } else if punct_at(j, ">") && !(j > 0 && punct_at(j - 1, "-")) {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return j + 1;
+                    }
+                }
+                j += 1;
+            }
+            k = j;
+        }
+        k
+    };
+    while i < hi {
+        if punct_at(i, ".") {
+            if let Some(m) = ident_at(i + 1) {
+                if !is_keyword(m) {
+                    let mut k = i + 2;
+                    k = skip_turbofish(k);
+                    out.push(Ref {
+                        segments: vec![m.to_string()],
+                        method: true,
+                        called: punct_at(k, "("),
+                    });
+                }
+                i += 2;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if let Some(id) = ident_at(i) {
+            if is_keyword(id) && id != "crate" && id != "self" {
+                i += 1;
+                continue;
+            }
+            // Collect a `::`-joined path.
+            let mut segs = vec![id.to_string()];
+            let mut k = i + 1;
+            loop {
+                let after_tf = skip_turbofish(k);
+                if after_tf != k {
+                    k = after_tf;
+                    continue;
+                }
+                if punct_at(k, "::") {
+                    if let Some(nx) = ident_at(k + 1) {
+                        if !is_keyword(nx) || nx == "crate" || nx == "self" {
+                            segs.push(nx.to_string());
+                            k += 2;
+                            continue;
+                        }
+                    }
+                }
+                break;
+            }
+            let called = punct_at(k, "(");
+            let first = segs[0].as_str();
+            let upper_start = segs
+                .last()
+                .and_then(|s| s.chars().next())
+                .is_some_and(|c| c.is_uppercase());
+            let keep = called
+                || segs.len() > 1
+                || (upper_start && first != "Self");
+            if keep && !(segs.len() == 1 && (first == "self" || first == "crate")) {
+                out.push(Ref {
+                    segments: segs,
+                    method: false,
+                    called,
+                });
+            }
+            i = k.max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_fns_and_modules() {
+        let p = parse_src(
+            "fn top() {}\nmod inner { pub fn deep() {} mod deeper { fn deepest() {} } }",
+        );
+        let names: Vec<(String, Vec<String>, bool)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.module.clone(), f.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("top".into(), vec![], false),
+                ("deep".into(), vec!["inner".into()], true),
+                ("deepest".into(), vec!["inner".into(), "deeper".into()], false),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_methods_carry_self_type_and_trait() {
+        let p = parse_src(
+            "impl Facade { pub fn submit(&self) {} }\n\
+             impl fmt::Debug for Sim { fn fmt(&self) {} }\n\
+             impl<E> Scenario for City<E> { fn run(&self) {} }\n\
+             trait Provider { fn provide(&self) { default() } fn id(&self) -> u32; }",
+        );
+        let f = &p.fns[0];
+        assert_eq!((f.name.as_str(), f.self_type.as_deref()), ("submit", Some("Facade")));
+        let f = &p.fns[1];
+        assert_eq!(f.trait_impl.as_deref(), Some("Debug"));
+        assert_eq!(f.self_type.as_deref(), Some("Sim"));
+        let f = &p.fns[2];
+        assert_eq!(f.trait_impl.as_deref(), Some("Scenario"));
+        assert_eq!(f.self_type.as_deref(), Some("City"));
+        let f = &p.fns[3];
+        assert_eq!(f.self_type.as_deref(), Some("Provider"));
+        assert!(f.body.is_some());
+        let f = &p.fns[4];
+        assert_eq!(f.name, "id");
+        assert!(f.body.is_none());
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let p = parse_src(
+            "use std::collections::{BTreeMap, hash_map::RandomState as RS};\n\
+             pub use scenario::{Scenario, RunCtx};\n\
+             use simkit::*;",
+        );
+        let u: Vec<(Vec<String>, &str, bool)> = p
+            .uses
+            .iter()
+            .map(|u| (u.path.clone(), u.alias.as_str(), u.is_pub))
+            .collect();
+        assert_eq!(
+            u,
+            vec![
+                (vec!["std".into(), "collections".into(), "BTreeMap".into()], "BTreeMap", false),
+                (
+                    vec![
+                        "std".into(),
+                        "collections".into(),
+                        "hash_map".into(),
+                        "RandomState".into()
+                    ],
+                    "RS",
+                    false
+                ),
+                (vec!["scenario".into(), "Scenario".into()], "Scenario", true),
+                (vec!["scenario".into(), "RunCtx".into()], "RunCtx", true),
+                (vec!["simkit".into(), "*".into()], "", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn refs_capture_calls_paths_and_methods() {
+        let p = parse_src(
+            "fn f() { let x = helper(); y.method(1); Facade::new(); \
+             simkit::rng::DetRng::from_seed(7); v.iter().sum::<f64>(); ShardSim }",
+        );
+        let refs = &p.fns[0].refs;
+        let has = |segs: &[&str], method: bool, called: bool| {
+            refs.iter().any(|r| {
+                r.segments == segs.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+                    && r.method == method
+                    && r.called == called
+            })
+        };
+        assert!(has(&["helper"], false, true));
+        assert!(has(&["method"], true, true));
+        assert!(has(&["Facade", "new"], false, true));
+        assert!(has(&["simkit", "rng", "DetRng", "from_seed"], false, true));
+        assert!(has(&["sum"], true, true), "turbofish method call");
+        assert!(has(&["ShardSim"], false, false), "bare type reference");
+        // Plain lowercase locals are not references.
+        assert!(!has(&["x"], false, false));
+    }
+
+    #[test]
+    fn nested_fns_fold_into_outer_body() {
+        let p = parse_src("fn outer() { fn inner() {} inner(); }");
+        // Item-level parse records only the outer fn; `inner` shows up
+        // as a called reference inside it.
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].refs.iter().any(|r| r.segments == ["inner"] && r.called));
+    }
+
+    #[test]
+    fn recovers_on_malformed_input() {
+        for src in [
+            "fn",
+            "fn {",
+            "impl {{{",
+            "use ::;{,}",
+            "mod m { fn f( }",
+            "trait T fn x",
+            "pub pub pub",
+            "} } }",
+            "fn f() -> [u8; 3] { [0; 3] }",
+        ] {
+            let _ = parse_src(src); // must not panic
+        }
+    }
+}

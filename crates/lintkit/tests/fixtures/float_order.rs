@@ -1,0 +1,46 @@
+// lint-fixture: crate=core kind=lib reach=sim
+//! Fixture: float-order. Sim-visible fns handling f32/f64 must not
+//! leave accumulation order to iterator adapters — float addition is
+//! not associative, so the order is part of the determinism contract.
+
+fn bad_mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+fn bad_fold(draws: &[f32]) -> f32 {
+    draws.iter().fold(0.0f32, |acc, d| acc + d)
+}
+
+fn bad_product(factors: &[f64]) -> f64 {
+    factors.iter().product()
+}
+
+fn bad_reduce(latencies: &[f64]) -> Option<f64> {
+    latencies.iter().copied().reduce(|a, b| a + b)
+}
+
+// Integer accumulation carries no rounding-order hazard.
+fn fine_integer_sum(micro_joules: &[u64]) -> u64 {
+    micro_joules.iter().sum()
+}
+
+// An explicit-order loop is the sanctioned fix.
+fn fine_explicit_order(samples: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in samples {
+        acc += v;
+    }
+    acc
+}
+
+fn allowed_order_insensitive(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::NEG_INFINITY, f64::max) // lint:allow(float-order) max is order-insensitive
+}
+
+#[cfg(test)]
+mod tests {
+    // Test assertions may accumulate however they like.
+    fn scratch(xs: &[f64]) -> f64 {
+        xs.iter().sum()
+    }
+}

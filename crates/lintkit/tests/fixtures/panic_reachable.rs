@@ -1,0 +1,76 @@
+// lint-fixture: crate=core kind=lib reach=hot
+//! Fixture: panic-reachable. Code the reachability engine proves
+//! reachable from core's provisioning surface (`reach=hot` forces the
+//! taint in single-file mode) must propagate errors, not panic.
+
+fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("value present")
+}
+
+fn bad_panic() {
+    panic!("unrecoverable");
+}
+
+fn bad_unreachable(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!("callers only pass zero"),
+    }
+}
+
+fn bad_index(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+fn bad_slice(xs: &[u32]) -> &[u32] {
+    &xs[1..]
+}
+
+// Non-panicking shapes are fine: fallbacks, propagation, `.get()`.
+fn fine_fallbacks(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) + v.unwrap_or_else(|| 1) + v.unwrap_or_default()
+}
+
+fn fine_propagation(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+fn fine_get(xs: &[u32], i: usize) -> Option<u32> {
+    xs.get(i).copied()
+}
+
+// Array types, attributes and literals are not indexing expressions.
+#[derive(Clone, Copy)]
+struct Frame {
+    buf: [u8; 4],
+}
+
+fn fine_array() -> [u8; 2] {
+    let pair = [1, 2];
+    pair
+}
+
+fn allowed_invariant(v: Option<u32>) -> u32 {
+    v.expect("set in constructor") // lint:allow(panic-reachable) construction invariant
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may unwrap freely.
+    #[test]
+    fn unwraps_are_fine_here() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, ()> = Ok(4);
+        r.expect("ok");
+        let xs = [1u32, 2];
+        assert_eq!(xs[0], 1);
+        if false {
+            panic!("test-only panic");
+        }
+    }
+}

@@ -1,4 +1,4 @@
-// lint-fixture: crate=simkit kind=lib file=shard.rs
+// lint-fixture: crate=simkit kind=lib file=shard.rs reach=shard,sim
 //! Fixture: shard-visible-order. Cross-shard merge paths must derive
 //! event order from the `(time, actor, seq)` key — never from hash
 //! iteration order or thread scheduling.

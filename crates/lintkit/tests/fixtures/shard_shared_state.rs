@@ -1,0 +1,50 @@
+// lint-fixture: crate=simkit kind=lib reach=shard
+//! Fixture: shard-shared-state. Paths reachable from shard-parallel
+//! stepping must not share mutable state across workers: outputs would
+//! depend on thread interleaving, breaking shard-count invariance.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering;
+
+static mut SCRATCH: u64 = 0;
+
+fn bad_relaxed(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn bad_acquire(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Acquire)
+}
+
+fn bad_release(counter: &AtomicU64) {
+    counter.store(0, Ordering::Release);
+}
+
+// SeqCst atomics are the sanctioned shared counter.
+fn fine_seqcst(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}
+
+// Per-shard accumulation merged after the barrier is the real fix.
+fn fine_per_shard_merge(per_shard: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for t in per_shard {
+        total = total.wrapping_add(*t);
+    }
+    total
+}
+
+struct DiagOnly {
+    // lint:allow(shard-shared-state) drop-only diagnostics mutex, value never reaches outputs
+    last_error: std::sync::Mutex<Option<String>>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Test harness code may lock freely.
+    use std::sync::Mutex;
+
+    fn scratch() -> Mutex<u32> {
+        Mutex::new(0)
+    }
+}

@@ -1,0 +1,11 @@
+//! Re-exported planning helpers: `plan_route` is surfaced at the crate
+//! root via `pub use`, so cross-crate callers resolve through the
+//! re-export; `score` is private and only tainted transitively.
+
+pub fn plan_route(hops: u64) -> u64 {
+    score(hops)
+}
+
+fn score(hops: u64) -> u64 {
+    hops.wrapping_mul(2)
+}

@@ -1,0 +1,17 @@
+//! Fixture workspace: the application crate (package `app-core`, dir
+//! `app` — exercises the package-name / directory-key split). `drive`
+//! is a sim root (it schedules), and its calls carry the taint across
+//! the crate boundary into `enginex::merge::merge_events` and down
+//! through the `pub use` re-export into `inner::score`.
+
+mod inner;
+
+pub use inner::plan_route;
+
+use enginex::merge::merge_events;
+use enginex::Sim;
+
+pub fn drive(sim: &mut Sim) -> u64 {
+    sim.schedule_at(5);
+    merge_events(plan_route(3))
+}

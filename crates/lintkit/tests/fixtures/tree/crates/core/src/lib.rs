@@ -1,0 +1,15 @@
+//! Fixture workspace: the hot-path crate (dir `core`, so its public
+//! functions seed the hot taint exactly like the real middleware
+//! surface). `provide` reaches `plan_route` through the `app-core`
+//! dependency's re-export, so the hot taint crosses two files.
+
+use app_core::plan_route;
+
+pub fn provide(q: u64) -> u64 {
+    validate(q);
+    plan_route(q)
+}
+
+fn validate(q: u64) -> u64 {
+    q
+}

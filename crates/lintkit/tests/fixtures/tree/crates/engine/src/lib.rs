@@ -1,0 +1,33 @@
+//! Fixture workspace: the event engine crate. `impl Sim` / `impl
+//! ShardSim` methods seed the sim and shard taints; `merge::merge_events`
+//! is deliberately *uncalled within this crate* so its sim taint can
+//! only arrive over a cross-crate edge from `app`.
+
+pub mod merge;
+
+/// Single-threaded event engine.
+pub struct Sim {
+    now: u64,
+}
+
+impl Sim {
+    pub fn schedule_at(&mut self, at: u64) {
+        self.dispatch(at);
+    }
+
+    fn dispatch(&mut self, at: u64) {
+        self.now = at;
+    }
+}
+
+/// Shard-parallel event engine.
+pub struct ShardSim {
+    shard: usize,
+}
+
+impl ShardSim {
+    pub fn step_shard(&mut self) -> usize {
+        self.shard += 1;
+        self.shard
+    }
+}

@@ -1,0 +1,6 @@
+//! Merge helper: only ever called from the `app` crate through the
+//! manifest-renamed `enginex` alias.
+
+pub fn merge_events(at: u64) -> u64 {
+    at.wrapping_mul(3)
+}

@@ -1,0 +1,7 @@
+//! Fixture workspace: a leaf crate nothing reaches. Its one function
+//! must come out of the taint engine untainted, and the crate must not
+//! appear in the computed sim-visible set.
+
+pub fn idle() -> u64 {
+    1
+}

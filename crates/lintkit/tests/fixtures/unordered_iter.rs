@@ -1,4 +1,4 @@
-// lint-fixture: crate=core kind=lib
+// lint-fixture: crate=core kind=lib reach=sim
 //! Fixture: unordered-iter. Sim-visible library code must iterate
 //! ordered collections so snapshots are seed-stable.
 

@@ -1,0 +1,30 @@
+// lint-fixture: crate=core kind=lib reach=hot
+//! Fixture: unused-pragma. Every `lint:allow` must suppress a live
+//! diagnostic: pragmas that name unknown rules or outlived their
+//! violation hide real future findings on the same line.
+
+// A live pragma (suppresses a real panic-reachable hit): not flagged.
+fn live(v: Option<u32>) -> u32 {
+    v.expect("audited") // lint:allow(panic-reachable) construction invariant
+}
+
+// Stale: the panic was refactored away but the pragma stayed behind.
+fn stale() -> u32 {
+    7 // lint:allow(panic-reachable) leftover from an old unwrap
+}
+
+// Unknown rule name (e.g. the retired `no-unwrap-in-core`): flagged,
+// and the unwrap it was meant to cover is reported as usual.
+fn unknown_rule(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(no-unwrap-in-core) retired rule name
+}
+
+// Standalone pragmas go stale too when the next line stops violating.
+// lint:allow(wallclock-ban) the Instant::now below was removed
+fn no_clock() {}
+
+// Adding `unused-pragma` to the list opts a line out of hygiene
+// (e.g. a pin kept during a staged migration).
+fn migrating() -> u32 {
+    9 // lint:allow(float-order, unused-pragma) pinned during migration
+}

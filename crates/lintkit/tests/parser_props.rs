@@ -1,0 +1,128 @@
+//! Property suite for the hand-rolled item parser: on *arbitrary*
+//! input — well-formed or hostile — `lexer::lex` followed by
+//! `parser::parse` must terminate without panicking, and every item it
+//! recovers must carry internally consistent spans. The parser's
+//! forced-progress loop is the termination argument; these tests are
+//! the empirical check that no token shape defeats it.
+
+use lintkit::{lexer, parser};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Rust-ish token fragments, biased towards the shapes the parser
+/// special-cases: items, impl blocks, use trees, generics, closures,
+/// stray closers and unterminated openers.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn".to_string()),
+        Just("pub".to_string()),
+        Just("impl".to_string()),
+        Just("trait".to_string()),
+        Just("use".to_string()),
+        Just("mod".to_string()),
+        Just("for".to_string()),
+        Just("as".to_string()),
+        Just("self".to_string()),
+        Just("crate".to_string()),
+        Just("super".to_string()),
+        Just("Self".to_string()),
+        Just("where".to_string()),
+        Just("dyn".to_string()),
+        Just("::".to_string()),
+        Just(";".to_string()),
+        Just(",".to_string()),
+        Just(".".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("[".to_string()),
+        Just("]".to_string()),
+        Just("<".to_string()),
+        Just(">".to_string()),
+        Just("->".to_string()),
+        Just("=>".to_string()),
+        Just("*".to_string()),
+        Just("&mut".to_string()),
+        Just("#[derive(Debug)]".to_string()),
+        Just("'a".to_string()),
+        Just("\"str\"".to_string()),
+        Just("// line".to_string()),
+        Just("/* block".to_string()),
+        "[a-d][a-z0-9_]{0,6}",
+        "[0-9]{1,4}",
+    ]
+}
+
+fn assert_parse_is_sound(src: &str) -> Result<(), TestCaseError> {
+    let lexed = lexer::lex(src);
+    let parsed = parser::parse(&lexed.tokens);
+    let n = lexed.tokens.len();
+    for f in &parsed.fns {
+        prop_assert!(
+            f.sig_start < n,
+            "sig_start {} out of range {} for fn `{}`",
+            f.sig_start,
+            n,
+            f.name
+        );
+        if let Some((open, close)) = f.body {
+            prop_assert!(open <= close, "inverted body span for fn `{}`", f.name);
+            prop_assert!(close < n, "body span past end for fn `{}`", f.name);
+            prop_assert!(f.sig_start <= open, "body before signature for fn `{}`", f.name);
+        }
+        for r in &f.refs {
+            prop_assert!(!r.segments.is_empty(), "empty ref path in fn `{}`", f.name);
+        }
+    }
+    for u in &parsed.uses {
+        prop_assert!(!u.path.is_empty(), "use decl with empty path");
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Fragment soup: token sequences that look locally like Rust but
+    /// nest and dangle arbitrarily.
+    #[test]
+    fn parse_survives_fragment_soup(
+        frags in collection::vec(fragment(), 0..48),
+        seps in collection::vec(prop_oneof![Just(" "), Just("\n"), Just("")], 0..48),
+    ) {
+        let mut src = String::new();
+        for (i, f) in frags.iter().enumerate() {
+            src.push_str(f);
+            src.push_str(seps.get(i).copied().unwrap_or(" "));
+        }
+        assert_parse_is_sound(&src)?;
+    }
+
+    /// Raw byte noise: arbitrary printable characters, no token
+    /// discipline at all (unterminated strings, lone quotes, stray
+    /// backslashes).
+    #[test]
+    fn parse_survives_raw_noise(src in "[ -~\n]{0,160}") {
+        assert_parse_is_sound(&src)?;
+    }
+
+    /// Well-formed scaffolding with noisy bodies: the recovering
+    /// parser must still find the outer items.
+    #[test]
+    fn parse_recovers_outer_items(
+        name in "[a-z][a-z0-9_]{0,8}",
+        noise in "[ -~\n]{0,40}",
+    ) {
+        let body = noise.replace(['{', '}', '"', '\'', '\\', '/'], "_");
+        let src = format!("pub fn {name}() {{ {body} }}\nfn tail() {{}}\n");
+        let lexed = lexer::lex(&src);
+        let parsed = parser::parse(&lexed.tokens);
+        prop_assert!(
+            parsed.fns.iter().any(|f| f.name == name),
+            "lost fn `{}` in {:?}",
+            name,
+            parsed.fns.iter().map(|f| f.name.clone()).collect::<Vec<_>>()
+        );
+        prop_assert!(parsed.fns.iter().any(|f| f.name == "tail"));
+        assert_parse_is_sound(&src)?;
+    }
+}

@@ -1,33 +1,83 @@
-//! Tier-1 determinism gate: the whole workspace must be lint-clean.
+//! Tier-1 determinism gate: the workspace must introduce **zero new
+//! findings** over the checked-in ratchet baseline, and the computed
+//! sim-visibility must cover every crate the retired hand-maintained
+//! `SIM_VISIBLE` list named.
 //!
-//! This is the same check as `cargo run -p lintkit -- --workspace`
-//! (and the `==> lintkit gate` step of `scripts/verify.sh`), wired into
-//! `cargo test` so no PR can land code that breaks the determinism
+//! This is the same check as
+//! `cargo run -p lintkit -- --workspace --baseline results/lint_baseline.json`
+//! (the `==> lintkit gate` step of `scripts/verify.sh`), wired into
+//! `cargo test` so no PR can land code that regresses the determinism
 //! contract without either fixing it or leaving an auditable
-//! `lint:allow` pragma.
+//! `lint:allow` pragma — and no stale pragma survives either.
 
-use lintkit::{find_workspace_root, lint_workspace};
+use lintkit::ratchet::{self, Baseline};
+use lintkit::{find_workspace_root, Analysis};
 use std::path::Path;
 
+/// Crates the retired `SIM_VISIBLE` const named: the computed set must
+/// be a superset, or the refactor silently narrowed the patrolled
+/// surface.
+const RETIRED_SIM_VISIBLE: &[&str] =
+    &["simkit", "radio", "smartmsg", "fuego", "core", "obskit", "benchkit"];
+
 #[test]
-fn workspace_has_no_lint_violations() {
+fn workspace_within_ratchet_baseline() {
     let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
         .expect("workspace root (Cargo.toml + crates/) not found");
-    let report = lint_workspace(&root).expect("workspace walk");
+    let analysis = Analysis::analyze(&root).expect("workspace analysis");
+    let report = analysis.lint_all();
     assert!(
         report.files > 50,
         "suspiciously few files scanned ({}) — walker broken?",
         report.files
     );
-    if !report.is_clean() {
-        let mut msg = String::new();
-        for d in &report.diagnostics {
-            msg.push_str(&format!("{d}\n"));
-        }
-        panic!(
-            "lintkit gate: {} violation(s) in the workspace\n{msg}\
-             fix the code or add `// lint:allow(<rule>)` with a justification",
-            report.diagnostics.len()
+
+    // Computed sim-visibility covers the retired hand list.
+    for krate in RETIRED_SIM_VISIBLE {
+        assert!(
+            analysis.sim_visible().contains(*krate),
+            "computed sim-visible set {:?} lost crate `{krate}` that the \
+             retired SIM_VISIBLE list named",
+            analysis.sim_visible()
         );
     }
+
+    // Pragma hygiene: stale pragmas are always new debt, never pinned.
+    let stale: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "unused-pragma")
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale `lint:allow` pragma(s):\n{}",
+        stale.join("\n")
+    );
+
+    // Ratchet: every finding must be covered by the checked-in pins.
+    let baseline_src = std::fs::read_to_string(root.join("results/lint_baseline.json"))
+        .expect("results/lint_baseline.json (re-create with --write-baseline)");
+    let baseline = Baseline::parse(&baseline_src).expect("baseline parses");
+    let diff = ratchet::diff(&ratchet::counts_of(&report), &baseline);
+    if !diff.regressions.is_empty() {
+        let mut msg = String::new();
+        for r in &diff.regressions {
+            msg.push_str(&format!(
+                "  {}: {} finding(s) of `{}` (pinned: {})\n",
+                r.path, r.current, r.rule, r.pinned
+            ));
+        }
+        panic!(
+            "lintkit gate: {} (rule, file) pair(s) above the ratchet baseline\n{msg}\
+             fix the code, add `// lint:allow(<rule>)` with a justification, or — \
+             for a deliberate rule change — re-base with\n  \
+             cargo run -p lintkit -- --workspace --write-baseline results/lint_baseline.json",
+            diff.regressions.len()
+        );
+    }
+    assert!(
+        diff.pinned_total > 0,
+        "baseline pins nothing — gate would be vacuous"
+    );
 }

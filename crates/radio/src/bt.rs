@@ -377,7 +377,7 @@ impl BtRadio {
             .state_of(self.node)
             // Attach is the only constructor, radios are never detached:
             // an absent entry is unreachable by construction.
-            .expect("radio detached from medium") // lint:allow(no-unwrap-in-core) attach-time invariant
+            .expect("radio detached from medium") // lint:allow(panic-reachable) attach-time invariant
     }
 
     /// Recomputes this radio's draw and pokes the phone's power model.

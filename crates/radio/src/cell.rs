@@ -361,7 +361,7 @@ impl CellModem {
             .state_of(self.node)
             // Attach is the only constructor, modems are never detached:
             // an absent entry is unreachable by construction.
-            .expect("modem detached from network") // lint:allow(no-unwrap-in-core) attach-time invariant
+            .expect("modem detached from network") // lint:allow(panic-reachable) attach-time invariant
     }
 
     fn refresh_power(&self) {

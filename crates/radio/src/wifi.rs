@@ -221,7 +221,7 @@ impl WifiRadio {
             .state_of(self.node)
             // Attach is the only constructor, radios are never detached:
             // an absent entry is unreachable by construction.
-            .expect("radio detached from medium") // lint:allow(no-unwrap-in-core) attach-time invariant
+            .expect("radio detached from medium") // lint:allow(panic-reachable) attach-time invariant
     }
 
     /// True if the radio is on, joined to the IBSS, and the phone is up.

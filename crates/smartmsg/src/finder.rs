@@ -283,8 +283,7 @@ impl SmProgram for Finder {
                     return self.go_home(ctx);
                 }
                 let route = self.route.clone().unwrap_or_default();
-                if idx < route.len() {
-                    let next = route[idx];
+                if let Some(&next) = route.get(idx) {
                     self.mode = Mode::Routed(idx + 1);
                     self.visited.insert(next);
                     self.depth_path.push(ctx.node);

@@ -563,7 +563,7 @@ impl SmNode {
             .state_of(self.node)
             // `install` is the only way to obtain an SmNode handle, so the
             // platform map always holds this node.
-            .expect("SM runtime not installed") // lint:allow(no-unwrap-in-core) install-time invariant
+            .expect("SM runtime not installed") // lint:allow(panic-reachable) install-time invariant
     }
 
     /// Publishes a tag in the local tag space. Completion (a hashtable

@@ -1,15 +1,21 @@
 #!/usr/bin/env sh
 # Convenience wrapper around the lintkit determinism/robustness pass.
 #
-#   ./scripts/lint.sh                # lint the whole workspace
+#   ./scripts/lint.sh                # workspace lint against the ratchet baseline
+#   ./scripts/lint.sh --json         # same, machine-readable (schema contory-lint/1)
 #   ./scripts/lint.sh --list-rules   # print the rule catalog
 #   ./scripts/lint.sh path/to/file.rs ...
 #
+# Anything else is passed through to lintkit verbatim (e.g.
+# `--sim-visible`, `--explain <rule>`, `--write-baseline <path>`).
 # Exit codes follow lintkit: 0 clean, 1 diagnostics, 2 usage/IO error.
 set -eu
 cd "$(dirname "$0")/.."
 
 if [ "$#" -eq 0 ]; then
-    exec cargo run -q -p lintkit -- --workspace
+    exec cargo run -q -p lintkit -- --workspace --baseline results/lint_baseline.json
+fi
+if [ "$#" -eq 1 ] && [ "$1" = "--json" ]; then
+    exec cargo run -q -p lintkit -- --workspace --baseline results/lint_baseline.json --json
 fi
 exec cargo run -q -p lintkit -- "$@"

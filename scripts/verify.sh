@@ -7,7 +7,9 @@
 #    (unit + per-crate integration + cross-crate integration +
 #    property tests);
 # 2. the lintkit gate: the offline determinism/robustness lint pass
-#    must report zero non-allowed diagnostics (DESIGN.md §5c);
+#    must report zero findings above the checked-in ratchet baseline
+#    (results/lint_baseline.json) and zero stale pragmas
+#    (DESIGN.md §5c, §5g);
 # 3. the failure-scenario suite in isolation — every scenario runs
 #    across the three fixed seeds baked into the suite (11, 22, 33);
 # 4. the shard gate: the partition-invariance suite — the Fig. 5
@@ -33,8 +35,8 @@ cargo build --release
 echo "==> tier-1: cargo test -q (full workspace)"
 cargo test -q
 
-echo "==> lintkit gate (determinism & robustness lints)"
-cargo run -q --release -p lintkit -- --workspace
+echo "==> lintkit gate (determinism & robustness lints, ratchet baseline)"
+cargo run -q --release -p lintkit -- --workspace --baseline results/lint_baseline.json
 
 echo "==> failure-scenario suite (seeds 11, 22, 33)"
 cargo test -q --test failover_scenarios
