@@ -49,6 +49,7 @@ fn main() {
                     std::process::exit(2);
                 });
             contory_bench::scenarios::scale_city::set_shards(n);
+            contory_bench::scenarios::broker_load::set_shards(n);
         } else {
             eprintln!("unknown flag '{a}' (known: --check, --write-baseline, --shards N)");
             std::process::exit(2);

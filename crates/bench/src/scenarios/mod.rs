@@ -1,11 +1,12 @@
-//! The eight §6 regenerators — plus the beyond-paper `scale_city` scale
-//! scenario — as [`benchkit::Scenario`]s.
+//! The eight §6 regenerators — plus the beyond-paper `scale_city` and
+//! `broker_load` scale scenarios — as [`benchkit::Scenario`]s.
 //!
 //! One module per table/figure/in-text measurement set; [`all`] returns
 //! the suite in the fixed order `bench_all` runs and exports it in.
 
 pub mod ablation_cache;
 pub mod ablation_merging;
+pub mod broker_load;
 pub mod fig4;
 pub mod fig5;
 pub mod idle;
@@ -17,7 +18,7 @@ pub mod table2;
 use benchkit::Scenario;
 
 /// The full suite, in export order: the eight §6 regenerators followed
-/// by the partitioned-engine scale scenario.
+/// by the partitioned-engine scale scenarios.
 pub fn all() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(table1::Table1Latency),
@@ -29,5 +30,6 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
         Box::new(ablation_cache::AblationDiscoveryCache),
         Box::new(ablation_merging::AblationMerging),
         Box::new(scale_city::ScaleCity),
+        Box::new(broker_load::BrokerLoad),
     ]
 }

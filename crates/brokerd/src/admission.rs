@@ -1,0 +1,140 @@
+//! Admission control and bounded-queue backpressure.
+//!
+//! A broker admits a publish only if (a) the packet satisfies the
+//! hygiene contract — attributed, unexpired, source not blocked — and
+//! (b) the bounded inbox has room. Everything else is refused with a
+//! typed [`BrokerError`] that maps onto the middleware's [`RefError`],
+//! so a shed publish surfaces through the *existing* retry/backoff/
+//! failover machinery instead of inventing a parallel error path.
+//!
+//! Shedding is load signal, not data loss: the client retries (with
+//! backoff) or the [`InfraCxtProvider`] fails over to a less-loaded
+//! broker via the QoS score gossip carries — see
+//! [`federation`](crate::federation).
+//!
+//! [`RefError`]: contory::refs::RefError
+//! [`InfraCxtProvider`]: crate::cell::FederatedCell
+
+use contory::refs::RefError;
+use std::fmt;
+
+/// Why a broker refused an operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The bounded inbox is full; the publish was shed (backpressure).
+    QueueFull {
+        /// Configured inbox capacity the publish ran into.
+        capacity: usize,
+    },
+    /// The packet carries no source attribution.
+    Unattributed,
+    /// The packet was already past its expiry when it arrived.
+    ExpiredOnArrival,
+    /// The packet's source is blocked by the broker's access policy.
+    SourceBlocked(String),
+    /// The broker is down (scripted fault or shutdown).
+    BrokerDown,
+    /// No retained context and no provider for the requested type.
+    NoSuchContext(String),
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            BrokerError::Unattributed => f.write_str("publish refused: no source attribution"),
+            BrokerError::ExpiredOnArrival => f.write_str("publish refused: expired on arrival"),
+            BrokerError::SourceBlocked(s) => write!(f, "publish refused: source {s} blocked"),
+            BrokerError::BrokerDown => f.write_str("broker down"),
+            BrokerError::NoSuchContext(t) => write!(f, "no context of type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// Maps broker refusals onto the middleware's reference errors so they
+/// ride the PR 1 retry/backoff/failover path unchanged: backpressure is
+/// retryable ([`RefError::Timeout`]), hygiene violations are terminal
+/// ([`RefError::Denied`]), downtime triggers failover
+/// ([`RefError::Unavailable`]).
+impl From<BrokerError> for RefError {
+    fn from(e: BrokerError) -> RefError {
+        match e {
+            BrokerError::QueueFull { .. } => RefError::Timeout,
+            BrokerError::Unattributed
+            | BrokerError::ExpiredOnArrival
+            | BrokerError::SourceBlocked(_) => RefError::Denied(e.to_string()),
+            BrokerError::BrokerDown => RefError::Unavailable(e.to_string()),
+            BrokerError::NoSuchContext(t) => RefError::NotFound(t),
+        }
+    }
+}
+
+/// Running admission counters (deterministic; folded into reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Publishes admitted into the inbox.
+    pub admitted: u64,
+    /// Publishes shed by backpressure.
+    pub shed: u64,
+    /// Publishes refused for missing attribution.
+    pub unattributed: u64,
+    /// Publishes refused as expired on arrival.
+    pub expired: u64,
+    /// Publishes refused by source blocking.
+    pub blocked: u64,
+}
+
+impl AdmissionStats {
+    /// Total refused for any reason.
+    pub fn refused(&self) -> u64 {
+        self.shed + self.unattributed + self.expired + self.blocked
+    }
+
+    /// Shed rate in parts-per-million of offered load (integer, so
+    /// reports stay float-free).
+    pub fn shed_ppm(&self) -> u64 {
+        let offered = self.admitted + self.refused();
+        if offered == 0 {
+            0
+        } else {
+            self.shed * 1_000_000 / offered
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_map_onto_the_failover_taxonomy() {
+        assert_eq!(RefError::from(BrokerError::QueueFull { capacity: 8 }), RefError::Timeout);
+        assert!(matches!(
+            RefError::from(BrokerError::BrokerDown),
+            RefError::Unavailable(_)
+        ));
+        assert!(matches!(
+            RefError::from(BrokerError::Unattributed),
+            RefError::Denied(_)
+        ));
+        assert!(matches!(
+            RefError::from(BrokerError::NoSuchContext("t".into())),
+            RefError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn shed_ppm_is_integer_exact() {
+        let stats = AdmissionStats {
+            admitted: 75,
+            shed: 25,
+            ..AdmissionStats::default()
+        };
+        assert_eq!(stats.shed_ppm(), 250_000);
+        assert_eq!(AdmissionStats::default().shed_ppm(), 0);
+    }
+}

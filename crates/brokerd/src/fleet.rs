@@ -1,0 +1,570 @@
+//! The sharded-simulation harness: a federated broker fleet plus a
+//! device population as [`ShardSim`] actors.
+//!
+//! Brokers and devices are actors; every interaction — publish, ack,
+//! delivery, federation forward, gossip — is a cross-actor message, so
+//! the engine's partition-independent ordering makes a whole fleet run
+//! **byte-identical across physical shard counts and worker-thread
+//! counts**. The [`FleetOutcome::report`] string is the identity
+//! witness; `broker_load` gates on it and `tests/fleet_determinism.rs`
+//! checks the {1,4}-shard × thread matrix.
+//!
+//! Fault edges come from [`simkit::faults::FaultPlan`] (target label
+//! `broker:<id>`): a killed broker stops acking, draining and gossiping;
+//! its publishers miss acks and deterministically re-home to the next
+//! broker, and its peers see its digests go stale. No wall clock, no
+//! floats, no unordered maps anywhere on this path.
+
+use crate::federation::LoadDigest;
+use crate::node::{BrokerNode, Effect, NodeConfig};
+use crate::packet::{BrokerId, ContextPacket};
+use crate::table::SubMode;
+use obskit::Histogram;
+use simkit::faults::FaultPlan;
+use simkit::shard::{ActorId, EventCtx, ShardConfig, ShardSim};
+use simkit::{SimDuration, SimTime};
+
+/// Number of distinct context types the fleet publishes.
+pub const FLEET_TYPES: u16 = 64;
+
+/// Missed acks before a publisher re-homes to the next broker.
+const REHOME_AFTER_MISSES: u32 = 2;
+
+/// Fleet scenario configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Broker count (≥ 1).
+    pub brokers: u16,
+    /// Device count.
+    pub devices: u64,
+    /// Physical shard count of the engine.
+    pub shards: u32,
+    /// Worker threads.
+    pub threads: u32,
+    /// Virtual duration of the run.
+    pub run_for: SimDuration,
+    /// Device publish cadence (jittered ±25 % per device).
+    pub publish_period: SimDuration,
+    /// Lifetime stamped on every published packet.
+    pub lifetime: SimDuration,
+    /// Broker drain cadence.
+    pub drain_every: SimDuration,
+    /// Broker sweep cadence.
+    pub sweep_every: SimDuration,
+    /// Broker gossip cadence.
+    pub gossip_every: SimDuration,
+    /// Broker tunables (table shards, inbox bound, drain budget).
+    pub node: NodeConfig,
+    /// Scripted up/down edges `(broker, at, up)`; build with
+    /// [`fault_edges`].
+    pub fault_edges: Vec<(u16, SimTime, bool)>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 42,
+            brokers: 4,
+            devices: 1_000,
+            shards: 1,
+            threads: 1,
+            run_for: SimDuration::from_secs(30),
+            publish_period: SimDuration::from_secs(5),
+            lifetime: SimDuration::from_secs(30),
+            drain_every: SimDuration::from_millis(50),
+            sweep_every: SimDuration::from_secs(10),
+            gossip_every: SimDuration::from_secs(5),
+            node: NodeConfig::default(),
+            fault_edges: Vec::new(),
+        }
+    }
+}
+
+/// Extracts the fleet's fault edges from a [`FaultPlan`] using the
+/// `broker:<id>` target convention.
+pub fn fault_edges(plan: &FaultPlan, brokers: u16) -> Vec<(u16, SimTime, bool)> {
+    let mut edges = Vec::new();
+    for b in 0..brokers {
+        for e in plan.edges(&format!("broker:{b}")) {
+            edges.push((b, e.at, e.up));
+        }
+    }
+    edges
+}
+
+/// Events exchanged by fleet actors.
+#[derive(Clone, Debug)]
+pub enum FleetEvent {
+    /// Device: subscribe and start the publish cadence.
+    Start,
+    /// Device: publish one packet to the home broker.
+    PublishTick,
+    /// Broker: a packet arrives (device publish or federation forward).
+    Packet {
+        /// The published packet.
+        packet: ContextPacket,
+        /// Publishing device actor for direct publishes (acked/nacked);
+        /// `None` for federation forwards. The transport knows its
+        /// sender even when the packet itself lacks attribution.
+        origin: Option<u64>,
+    },
+    /// Broker: register a subscription.
+    Sub {
+        /// Subscribing device actor.
+        subscriber: u64,
+        /// Context type index.
+        type_idx: u16,
+        /// Delivery mode.
+        mode: SubMode,
+    },
+    /// Broker: service the inbox and fire due periodic deliveries.
+    DrainTick,
+    /// Broker: expiry sweep.
+    SweepTick,
+    /// Broker: broadcast a load digest to peers.
+    GossipTick,
+    /// Broker: a peer's digest arrives.
+    Digest(LoadDigest),
+    /// Device: a delivery arrives.
+    Delivery(ContextPacket),
+    /// Device: the home broker admitted the last publish.
+    Ack,
+    /// Device: the home broker shed the last publish.
+    Nack,
+    /// Broker: scripted fault edge (`true` = back up).
+    SetUp(bool),
+}
+
+/// Per-device state.
+struct DeviceState {
+    home: u16,
+    type_idx: u16,
+    mode_tag: u8,
+    published: u64,
+    acked: u64,
+    nacked: u64,
+    received: u64,
+    misses: u32,
+    awaiting_ack: bool,
+    rehomes: u64,
+    fanout_us: Histogram,
+}
+
+/// Fleet actor: broker or device.
+enum FleetActor {
+    Broker { node: Box<BrokerNode>, alive: bool },
+    Device(Box<DeviceState>),
+}
+
+/// Deterministic aggregate of one fleet run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetOutcome {
+    /// Packets devices attempted to publish.
+    pub published: u64,
+    /// Publishes acked by a live broker.
+    pub acked: u64,
+    /// Publishes shed by backpressure (nacked).
+    pub shed: u64,
+    /// Deliveries received by devices.
+    pub delivered: u64,
+    /// Federation forwards between brokers.
+    pub forwarded: u64,
+    /// Forwards suppressed by the loop guard.
+    pub loops_dropped: u64,
+    /// Publishes refused for missing attribution.
+    pub unattributed: u64,
+    /// Subscriptions expired by sweeps.
+    pub subs_expired: u64,
+    /// Retained/queued packets expired.
+    pub packets_expired: u64,
+    /// Publisher re-homings after missed acks.
+    pub rehomes: u64,
+    /// Median fan-out latency (publish → device delivery), micros.
+    pub p50_fanout_us: u64,
+    /// p99 fan-out latency, micros.
+    pub p99_fanout_us: u64,
+    /// Engine events executed.
+    pub events: u64,
+    /// Cross-actor messages delivered.
+    pub messages: u64,
+    /// Engine transcript digest.
+    pub digest: u64,
+}
+
+impl FleetOutcome {
+    /// Shed rate in parts-per-million of offered publishes.
+    pub fn shed_ppm(&self) -> u64 {
+        if self.published == 0 {
+            0
+        } else {
+            self.shed * 1_000_000 / self.published
+        }
+    }
+
+    /// The byte-identity witness: every field, one line.
+    pub fn report(&self) -> String {
+        format!(
+            "published={} acked={} shed={} delivered={} forwarded={} loops={} \
+             unattributed={} subs_expired={} packets_expired={} rehomes={} \
+             p50_us={} p99_us={} shed_ppm={} events={} messages={} digest={:016x}",
+            self.published,
+            self.acked,
+            self.shed,
+            self.delivered,
+            self.forwarded,
+            self.loops_dropped,
+            self.unattributed,
+            self.subs_expired,
+            self.packets_expired,
+            self.rehomes,
+            self.p50_fanout_us,
+            self.p99_fanout_us,
+            self.shed_ppm(),
+            self.events,
+            self.messages,
+            self.digest,
+        )
+    }
+}
+
+fn type_name(idx: u16) -> String {
+    format!("ctx{idx:02}")
+}
+
+fn broker_actor(b: u16) -> ActorId {
+    ActorId(u64::from(b))
+}
+
+/// Runs one fleet scenario to completion.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
+    let brokers = cfg.brokers.max(1);
+    let node_cfg = cfg.node.clone();
+    let publish_period = cfg.publish_period;
+    let lifetime = cfg.lifetime;
+    let drain_every = cfg.drain_every;
+    let sweep_every = cfg.sweep_every;
+    let gossip_every = cfg.gossip_every;
+    let horizon = cfg.run_for;
+
+    let handler = move |actor: &mut FleetActor, ctx: &mut EventCtx<'_, FleetEvent>, ev: FleetEvent| {
+        match (actor, ev) {
+            // ---------------- broker side ----------------
+            (FleetActor::Broker { node, alive }, ev) => match ev {
+                FleetEvent::Sub {
+                    subscriber,
+                    type_idx,
+                    mode,
+                } => {
+                    node.subscribe(
+                        subscriber,
+                        &type_name(type_idx),
+                        mode,
+                        ctx.now() + horizon + horizon,
+                        ctx.now(),
+                    );
+                }
+                FleetEvent::Packet { packet, origin } => {
+                    if !*alive {
+                        return; // down: no ack, publisher times out
+                    }
+                    let origin = origin.map(ActorId);
+                    match node.publish(packet, ctx.now()) {
+                        Ok(()) => {
+                            if let Some(dev) = origin {
+                                ctx.send(dev, SimDuration::from_millis(2), FleetEvent::Ack);
+                            }
+                        }
+                        Err(_) => {
+                            if let Some(dev) = origin {
+                                ctx.send(dev, SimDuration::from_millis(2), FleetEvent::Nack);
+                            }
+                        }
+                    }
+                }
+                FleetEvent::DrainTick => {
+                    if *alive {
+                        let mut effects = node.drain(ctx.now());
+                        effects.extend(node.periodic_fire(ctx.now()));
+                        for e in effects {
+                            match e {
+                                Effect::Deliver {
+                                    subscriber, packet, ..
+                                } => ctx.send(
+                                    ActorId(subscriber),
+                                    SimDuration::from_millis(5),
+                                    FleetEvent::Delivery(packet),
+                                ),
+                                Effect::Forward { to, packet } => ctx.send(
+                                    broker_actor(to.0),
+                                    SimDuration::from_millis(10),
+                                    FleetEvent::Packet {
+                                        packet,
+                                        origin: None,
+                                    },
+                                ),
+                            }
+                        }
+                    }
+                    ctx.schedule_self(drain_every, FleetEvent::DrainTick);
+                }
+                FleetEvent::SweepTick => {
+                    if *alive {
+                        node.sweep(ctx.now());
+                    }
+                    ctx.schedule_self(sweep_every, FleetEvent::SweepTick);
+                }
+                FleetEvent::GossipTick => {
+                    if *alive {
+                        let digest = node.gossip_digest(ctx.now());
+                        for peer in node.peers().brokers() {
+                            ctx.send(
+                                broker_actor(peer.0),
+                                SimDuration::from_millis(10),
+                                FleetEvent::Digest(digest),
+                            );
+                        }
+                    }
+                    ctx.schedule_self(gossip_every, FleetEvent::GossipTick);
+                }
+                FleetEvent::Digest(d) => {
+                    if *alive {
+                        node.hear_gossip(&d, ctx.now());
+                    }
+                }
+                FleetEvent::SetUp(up) => {
+                    *alive = up;
+                    ctx.emit(format!(
+                        "broker{} {}",
+                        node.id().0,
+                        if up { "up" } else { "down" }
+                    ));
+                }
+                _ => {}
+            },
+            // ---------------- device side ----------------
+            (FleetActor::Device(dev), ev) => match ev {
+                FleetEvent::Start => {
+                    let mode = match dev.mode_tag {
+                        0 => SubMode::Periodic(publish_period),
+                        1 => SubMode::Event,
+                        _ => SubMode::OneShot,
+                    };
+                    ctx.send(
+                        broker_actor(dev.home),
+                        SimDuration::from_millis(2),
+                        FleetEvent::Sub {
+                            subscriber: ctx.actor().0,
+                            type_idx: dev.type_idx,
+                            mode,
+                        },
+                    );
+                    let jitter = ctx.rng().jitter(publish_period, 0.25);
+                    ctx.schedule_self(jitter, FleetEvent::PublishTick);
+                }
+                FleetEvent::PublishTick => {
+                    if dev.awaiting_ack {
+                        dev.misses += 1;
+                        if dev.misses >= REHOME_AFTER_MISSES {
+                            dev.home = (dev.home + 1) % brokers;
+                            dev.rehomes += 1;
+                            dev.misses = 0;
+                        }
+                    }
+                    dev.published += 1;
+                    dev.awaiting_ack = true;
+                    // 1 in 97 devices "forgets" attribution: exercises
+                    // the hygiene refusal path under load.
+                    let source = if ctx.actor().0 % 97 == 0 {
+                        String::new()
+                    } else {
+                        format!("dev{}", ctx.actor().0)
+                    };
+                    let mut packet = ContextPacket::new(
+                        type_name(dev.type_idx),
+                        (ctx.actor().0 as i64 % 1000) * 10,
+                        ctx.now(),
+                        lifetime,
+                        source,
+                    );
+                    packet.value_milli += (ctx.rng().next_u64() % 1000) as i64;
+                    ctx.send(
+                        broker_actor(dev.home),
+                        SimDuration::from_millis(2),
+                        FleetEvent::Packet {
+                            packet,
+                            origin: Some(ctx.actor().0),
+                        },
+                    );
+                    let jitter = ctx.rng().jitter(publish_period, 0.25);
+                    ctx.schedule_self(jitter, FleetEvent::PublishTick);
+                }
+                FleetEvent::Ack => {
+                    dev.acked += 1;
+                    dev.awaiting_ack = false;
+                    dev.misses = 0;
+                }
+                FleetEvent::Nack => {
+                    dev.nacked += 1;
+                    dev.awaiting_ack = false;
+                }
+                FleetEvent::Delivery(packet) => {
+                    dev.received += 1;
+                    let latency = ctx.now().since(packet.published_at);
+                    dev.fanout_us.record(latency.as_micros());
+                }
+                _ => {}
+            },
+        }
+    };
+
+    let shard_cfg = ShardConfig {
+        seed: cfg.seed,
+        shards: cfg.shards,
+        threads: cfg.threads,
+        record_transcript: false,
+    };
+    let mut sim = ShardSim::new(shard_cfg, handler);
+
+    // Brokers are actors 0..brokers; each peers with every other broker.
+    for b in 0..brokers {
+        let mut node = BrokerNode::new(BrokerId(b), node_cfg.clone());
+        for peer in 0..brokers {
+            if peer != b {
+                // Link latency asymmetry drives QoS selection: peers
+                // further around the ring cost more.
+                let dist = u64::from((peer + brokers - b) % brokers);
+                node.peers_mut()
+                    .introduce(BrokerId(peer), 5_000 * dist, SimTime::ZERO);
+            }
+        }
+        sim.add_actor(
+            broker_actor(b),
+            FleetActor::Broker {
+                node: Box::new(node),
+                alive: true,
+            },
+        );
+    }
+    for d in 0..cfg.devices {
+        let id = ActorId(u64::from(brokers) + d);
+        let dev = DeviceState {
+            home: (d % u64::from(brokers)) as u16,
+            type_idx: (d % u64::from(FLEET_TYPES)) as u16,
+            mode_tag: (d % 3) as u8,
+            published: 0,
+            acked: 0,
+            nacked: 0,
+            received: 0,
+            misses: 0,
+            awaiting_ack: false,
+            rehomes: 0,
+            fanout_us: Histogram::new(),
+        };
+        sim.add_actor(id, FleetActor::Device(Box::new(dev)));
+    }
+
+    // Kick-off: broker cadences, device starts, scripted fault edges.
+    for b in 0..brokers {
+        let a = broker_actor(b);
+        let _ = sim.schedule(a, SimTime::ZERO, FleetEvent::DrainTick);
+        let _ = sim.schedule(a, SimTime::ZERO, FleetEvent::SweepTick);
+        let _ = sim.schedule(a, SimTime::ZERO, FleetEvent::GossipTick);
+    }
+    for d in 0..cfg.devices {
+        let _ = sim.schedule(
+            ActorId(u64::from(brokers) + d),
+            SimTime::ZERO,
+            FleetEvent::Start,
+        );
+    }
+    for (b, at, up) in &cfg.fault_edges {
+        if *b < brokers {
+            let _ = sim.schedule(broker_actor(*b), *at, FleetEvent::SetUp(*up));
+        }
+    }
+
+    sim.run_until(SimTime::ZERO + cfg.run_for);
+
+    // Fold outcomes in actor-id order — deterministic by construction.
+    let mut out = FleetOutcome::default();
+    let mut fanout = Histogram::new();
+    for b in 0..brokers {
+        if let Some(FleetActor::Broker { node, .. }) = sim.actor_state(broker_actor(b)) {
+            let s = node.stats();
+            out.shed += s.admission.shed;
+            out.unattributed += s.admission.unattributed;
+            out.forwarded += s.forwarded;
+            out.loops_dropped += s.loops_dropped;
+            out.subs_expired += s.subs_expired;
+            out.packets_expired += s.packets_expired;
+        }
+    }
+    for d in 0..cfg.devices {
+        let id = ActorId(u64::from(brokers) + d);
+        if let Some(FleetActor::Device(dev)) = sim.actor_state(id) {
+            out.published += dev.published;
+            out.acked += dev.acked;
+            out.delivered += dev.received;
+            out.rehomes += dev.rehomes;
+            fanout.merge(&dev.fanout_us);
+        }
+    }
+    out.p50_fanout_us = fanout.quantile(0.50);
+    out.p99_fanout_us = fanout.quantile(0.99);
+    out.events = sim.events_processed();
+    out.messages = sim.messages_delivered();
+    out.digest = sim.digest();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(seed: u64, shards: u32, threads: u32) -> FleetConfig {
+        FleetConfig {
+            seed,
+            brokers: 3,
+            devices: 120,
+            shards,
+            threads,
+            run_for: SimDuration::from_secs(20),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_runs_and_delivers() {
+        let out = run_fleet(&small(7, 1, 1));
+        assert!(out.published > 300, "published={}", out.published);
+        assert!(out.delivered > 0);
+        assert!(out.acked > 0);
+        assert!(out.forwarded > 0, "federation never forwarded");
+        assert!(out.unattributed > 0, "hygiene path never exercised");
+        assert!(out.p99_fanout_us >= out.p50_fanout_us);
+    }
+
+    #[test]
+    fn report_is_identical_across_partitions() {
+        let reference = run_fleet(&small(11, 1, 1)).report();
+        for (shards, threads) in [(2, 1), (4, 2), (8, 4)] {
+            let got = run_fleet(&small(11, shards, threads)).report();
+            assert_eq!(got, reference, "diverged at shards={shards} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn killed_broker_causes_rehoming() {
+        let mut plan = FaultPlan::new(1);
+        plan.kill_at("broker:0", SimTime::from_secs(8));
+        let mut cfg = small(13, 1, 1);
+        cfg.fault_edges = fault_edges(&plan, cfg.brokers);
+        let out = run_fleet(&cfg);
+        assert!(out.rehomes > 0, "no publisher re-homed after the kill");
+        let healthy = run_fleet(&small(13, 1, 1));
+        assert_eq!(healthy.rehomes, 0);
+        assert!(out.acked < healthy.acked);
+    }
+}

@@ -1,0 +1,59 @@
+//! # brokerd — the federated context-broker service
+//!
+//! Contory's third provisioning leg (`extInfra`, §4/Fig. 5) talks to a
+//! *context infrastructure*: a service that absorbs published context,
+//! matches it against subscriptions and survives when local sensing and
+//! ad hoc networking fail. This crate is that service, grown from the
+//! paper's single XML broker into the federated, QoS-aware design of the
+//! cloud-brokering follow-up work: several brokers gossip load digests,
+//! forward published context to each other, and are ranked by an integer
+//! latency+load score when a phone must (re)select one.
+//!
+//! ## One core, three harnesses
+//!
+//! The broker itself is the *pure* [`BrokerNode`]: `(input, now) →`
+//! [`Effect`]s, no clock, no socket, no thread. Three harnesses
+//! interpret it:
+//!
+//! * [`fleet`] — brokers and 10k-device populations as
+//!   [`simkit::shard::ShardSim`] actors; byte-identical across shard and
+//!   thread counts, gated by the `broker_load` benchkit scenario;
+//! * [`net`] — a real multi-threaded loopback TCP service
+//!   (`std::net::TcpListener`, line protocol in [`wire`]) driven by a
+//!   logical clock carried in every frame — no wall clock anywhere;
+//! * [`cell`] — [`FederatedCell`], a `contory::refs::CellReference`
+//!   backed by classic-sim broker nodes, which is how
+//!   `InfraCxtProvider` reaches the federation and fails over between
+//!   brokers inside the paper's 45 s SLO.
+//!
+//! ## The hygiene contract
+//!
+//! Every packet a broker touches carries a **mandatory expiry** and a
+//! **mandatory source attribution** ([`ContextPacket`] cannot be built
+//! without either); unattributed, expired or blocked publishes are
+//! refused at [admission](admission) with typed errors that map onto the
+//! middleware's retry/backoff/failover taxonomy, and expiry is enforced
+//! at every read *and* by deterministic sweeps — the same contract
+//! `contory::CxtRepository` now enforces device-side.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cell;
+pub mod federation;
+pub mod fleet;
+pub mod net;
+pub mod node;
+pub mod packet;
+pub mod table;
+pub mod wire;
+
+pub use admission::{AdmissionStats, BrokerError};
+pub use cell::FederatedCell;
+pub use federation::{qos_score, LoadDigest, PeerStat, PeerView};
+pub use fleet::{fault_edges, run_fleet, FleetConfig, FleetEvent, FleetOutcome};
+pub use node::{BrokerNode, Effect, NodeConfig, NodeStats};
+pub use packet::{BrokerId, ContextPacket, PacketError, MAX_HOPS};
+pub use table::{SubId, SubMode, Subscription, SubscriptionTable, SweepStats};
+pub use wire::{Request, Response, WireError};

@@ -1,0 +1,510 @@
+//! The pure broker core: `(input, now) → effects`.
+//!
+//! [`BrokerNode`] owns a broker's entire state — interner, sharded
+//! subscription table, bounded inbox, peer view, counters — and exposes
+//! transition functions that never touch a clock, a socket or a thread.
+//! Side effects come back as [`Effect`] values for the *harness* to
+//! interpret:
+//!
+//! * the sharded simulation ([`fleet`](crate::fleet)) turns effects into
+//!   `EventCtx::send`s between actors;
+//! * the loopback TCP service ([`net`](crate::net)) turns them into
+//!   `EVT` frames on subscriber sockets and lock-step forwards to peer
+//!   servers;
+//! * the classic-sim [`FederatedCell`](crate::cell::FederatedCell) turns
+//!   them into `OnItems` callbacks for `InfraCxtProvider`.
+//!
+//! One core, three harnesses — the smoke test and the benchmark gate
+//! therefore exercise the same matching, admission and federation code.
+//!
+//! `BrokerNode` is `Send` (no `Rc`, no interior mutability) so shard
+//! workers may own brokers on any thread.
+
+use crate::admission::{AdmissionStats, BrokerError};
+use crate::federation::{LoadDigest, PeerView};
+use crate::packet::{BrokerId, ContextPacket, MAX_HOPS};
+use crate::table::{SubId, SubMode, SubscriptionTable, SweepStats};
+use contory::vocab::{Interner, Sym};
+use simkit::SimTime;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Broker tunables.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Internal shard count of the subscription table.
+    pub table_shards: usize,
+    /// Bounded inbox capacity; publishes beyond it are shed.
+    pub inbox_capacity: usize,
+    /// Packets processed per [`BrokerNode::drain`] call (the service
+    /// rate of the queueing model).
+    pub drain_budget: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            table_shards: 4,
+            inbox_capacity: 64,
+            drain_budget: 16,
+        }
+    }
+}
+
+/// A side effect the harness must carry out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// Deliver a packet to a local subscriber.
+    Deliver {
+        /// Subscriber identity as registered at subscribe time.
+        subscriber: u64,
+        /// The subscription being served.
+        sub: SubId,
+        /// The packet (hops included, for provenance).
+        packet: ContextPacket,
+    },
+    /// Forward a packet to a federation peer.
+    Forward {
+        /// Destination broker.
+        to: BrokerId,
+        /// The packet, with this broker appended to its hop list.
+        packet: ContextPacket,
+    },
+}
+
+/// Running broker counters (all deterministic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Admission outcomes.
+    pub admission: AdmissionStats,
+    /// Deliveries effected to local subscribers.
+    pub delivered: u64,
+    /// Packets forwarded to peers.
+    pub forwarded: u64,
+    /// Forwards suppressed by the hop-list loop guard.
+    pub loops_dropped: u64,
+    /// Subscriptions expired by sweeps.
+    pub subs_expired: u64,
+    /// Retained packets expired by sweeps.
+    pub packets_expired: u64,
+}
+
+/// A federated context broker, as pure state + transitions.
+#[derive(Debug)]
+pub struct BrokerNode {
+    id: BrokerId,
+    cfg: NodeConfig,
+    interner: Interner,
+    table: SubscriptionTable,
+    inbox: VecDeque<ContextPacket>,
+    peers: PeerView,
+    blocked: BTreeSet<String>,
+    stats: NodeStats,
+}
+
+impl BrokerNode {
+    /// Creates a broker.
+    pub fn new(id: BrokerId, cfg: NodeConfig) -> Self {
+        let table = SubscriptionTable::new(cfg.table_shards);
+        BrokerNode {
+            id,
+            cfg,
+            interner: Interner::new(),
+            table,
+            inbox: VecDeque::new(),
+            peers: PeerView::new(),
+            blocked: BTreeSet::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This broker's federation identity.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Current inbox depth (the backpressure signal gossip advertises).
+    pub fn queue_depth(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Live subscriptions.
+    pub fn subscriptions(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Mutable access to the peer view (the harness wires topology).
+    pub fn peers_mut(&mut self) -> &mut PeerView {
+        &mut self.peers
+    }
+
+    /// Read access to the peer view.
+    pub fn peers(&self) -> &PeerView {
+        &self.peers
+    }
+
+    /// Blocks a source: its publishes are refused from now on.
+    pub fn block_source(&mut self, source: impl Into<String>) {
+        self.blocked.insert(source.into());
+    }
+
+    /// Interns a context-type name (admission-time cost only; every hot
+    /// path below works on the dense id).
+    pub fn intern(&mut self, type_name: &str) -> Sym {
+        self.interner.intern(type_name)
+    }
+
+    /// The id of an already-seen type, without inserting.
+    pub fn lookup(&self, type_name: &str) -> Option<Sym> {
+        self.interner.get(type_name)
+    }
+
+    /// Registers a subscription.
+    pub fn subscribe(
+        &mut self,
+        subscriber: u64,
+        type_name: &str,
+        mode: SubMode,
+        expires_at: SimTime,
+        now: SimTime,
+    ) -> SubId {
+        let sym = self.interner.intern(type_name);
+        obskit::count("broker_subscribed", 1);
+        self.table.subscribe(subscriber, sym, mode, expires_at, now)
+    }
+
+    /// Cancels a subscription.
+    pub fn unsubscribe(&mut self, id: SubId) -> bool {
+        self.table.unsubscribe(id)
+    }
+
+    /// Admission: vets the hygiene contract and the bounded inbox, then
+    /// enqueues. Effects flow later, from [`BrokerNode::drain`].
+    pub fn publish(&mut self, mut packet: ContextPacket, now: SimTime) -> Result<(), BrokerError> {
+        let span = obskit::start(obskit::Phase::Admission, "publish", None, now);
+        let outcome = self.admit(&mut packet, now);
+        match &outcome {
+            Ok(()) => {
+                self.stats.admission.admitted += 1;
+                obskit::count("broker_admitted", 1);
+                self.inbox.push_back(packet);
+            }
+            Err(e) => {
+                self.note_refusal(e);
+            }
+        }
+        obskit::end(span, now);
+        outcome
+    }
+
+    fn admit(&mut self, packet: &mut ContextPacket, now: SimTime) -> Result<(), BrokerError> {
+        if !packet.is_attributed() {
+            return Err(BrokerError::Unattributed);
+        }
+        if !packet.is_valid_at(now) {
+            return Err(BrokerError::ExpiredOnArrival);
+        }
+        if self.blocked.contains(&packet.source) {
+            return Err(BrokerError::SourceBlocked(packet.source.clone()));
+        }
+        if self.inbox.len() >= self.cfg.inbox_capacity {
+            return Err(BrokerError::QueueFull {
+                capacity: self.cfg.inbox_capacity,
+            });
+        }
+        packet.cxt_type = self.interner.intern(&packet.type_name);
+        Ok(())
+    }
+
+    fn note_refusal(&mut self, e: &BrokerError) {
+        match e {
+            BrokerError::QueueFull { .. } => {
+                self.stats.admission.shed += 1;
+                obskit::count("broker_shed", 1);
+            }
+            BrokerError::Unattributed => {
+                self.stats.admission.unattributed += 1;
+                obskit::count("broker_unattributed", 1);
+            }
+            BrokerError::ExpiredOnArrival => {
+                self.stats.admission.expired += 1;
+                obskit::count("broker_expired_on_arrival", 1);
+            }
+            BrokerError::SourceBlocked(_) => {
+                self.stats.admission.blocked += 1;
+                obskit::count("broker_source_blocked", 1);
+            }
+            BrokerError::BrokerDown | BrokerError::NoSuchContext(_) => {}
+        }
+    }
+
+    /// Service: processes up to `drain_budget` inbox packets — retain,
+    /// match local subscribers, forward to peers — and returns the
+    /// effects in deterministic order (inbox FIFO × subscription-id
+    /// order × peer-id order).
+    pub fn drain(&mut self, now: SimTime) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let span = obskit::start(obskit::Phase::Dispatch, "drain", None, now);
+        for _ in 0..self.cfg.drain_budget {
+            let Some(packet) = self.inbox.pop_front() else {
+                break;
+            };
+            if !packet.is_valid_at(now) {
+                // Died waiting in the queue; counted with sweep expiry.
+                self.stats.packets_expired += 1;
+                obskit::count("broker_expired_in_queue", 1);
+                continue;
+            }
+            self.fan_out(packet, now, &mut effects);
+        }
+        obskit::end(span, now);
+        effects
+    }
+
+    fn fan_out(&mut self, packet: ContextPacket, now: SimTime, effects: &mut Vec<Effect>) {
+        // Local matching first (event + one-shot subscribers).
+        for sub in self.table.on_arrival(packet.cxt_type, now) {
+            self.stats.delivered += 1;
+            obskit::count("broker_delivered", 1);
+            effects.push(Effect::Deliver {
+                subscriber: sub.subscriber,
+                sub: sub.id,
+                packet: packet.clone(),
+            });
+        }
+        // Federation: forward to every peer not already on the hop list,
+        // bounded by MAX_HOPS.
+        if packet.hops.len() < MAX_HOPS {
+            let stamped = packet.clone().with_hop(self.id);
+            for peer in self.peers.brokers() {
+                if stamped.visited(peer) {
+                    self.stats.loops_dropped += 1;
+                    continue;
+                }
+                self.stats.forwarded += 1;
+                obskit::count("broker_forwarded", 1);
+                effects.push(Effect::Forward {
+                    to: peer,
+                    packet: stamped.clone(),
+                });
+            }
+        }
+        self.table.retain(packet);
+    }
+
+    /// Periodic deliveries due at `now`: each due periodic subscription
+    /// is served from retained context (subscriptions whose type has no
+    /// valid retained packet are skipped this round).
+    pub fn periodic_fire(&mut self, now: SimTime) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        for sub in self.table.periodic_due(now) {
+            let Some(packet) = self.table.retained(sub.cxt_type, now).cloned() else {
+                continue;
+            };
+            self.stats.delivered += 1;
+            obskit::count("broker_delivered", 1);
+            effects.push(Effect::Deliver {
+                subscriber: sub.subscriber,
+                sub: sub.id,
+                packet,
+            });
+        }
+        effects
+    }
+
+    /// Expiry sweep over subscriptions and retained packets.
+    pub fn sweep(&mut self, now: SimTime) -> SweepStats {
+        let stats = self.table.sweep(now);
+        self.stats.subs_expired += stats.subscriptions as u64;
+        self.stats.packets_expired += stats.packets as u64;
+        if stats.subscriptions + stats.packets > 0 {
+            obskit::count("broker_swept", (stats.subscriptions + stats.packets) as u64);
+        }
+        stats
+    }
+
+    /// This broker's gossip digest at `now`.
+    pub fn gossip_digest(&self, now: SimTime) -> LoadDigest {
+        LoadDigest {
+            broker: self.id,
+            queue_depth: self.inbox.len() as u64,
+            subscriptions: self.table.len() as u64,
+            at: now,
+        }
+    }
+
+    /// Folds a heard digest into the peer view.
+    pub fn hear_gossip(&mut self, digest: &LoadDigest, now: SimTime) {
+        if digest.broker != self.id {
+            self.peers.absorb(digest, now);
+        }
+    }
+
+    /// On-demand lookup of the freshest retained context for a type
+    /// (the broker side of `fetch`). Lifetime enforcement applies.
+    pub fn fetch(&self, type_name: &str, now: SimTime) -> Result<ContextPacket, BrokerError> {
+        let sym = self
+            .interner
+            .get(type_name)
+            .ok_or_else(|| BrokerError::NoSuchContext(type_name.to_owned()))?;
+        self.table
+            .retained(sym, now)
+            .cloned()
+            .ok_or_else(|| BrokerError::NoSuchContext(type_name.to_owned()))
+    }
+
+    /// Resolves an interned id back to its name (for wire encoding).
+    pub fn resolve(&self, sym: Sym) -> Option<&str> {
+        self.interner.resolve(sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimDuration;
+
+    const FOREVER: SimTime = SimTime::from_secs(1_000_000);
+
+    fn pkt(t: &str, at: u64) -> ContextPacket {
+        ContextPacket::new(t, 1_000, SimTime::from_secs(at), SimDuration::from_secs(60), "src-a")
+    }
+
+    fn node() -> BrokerNode {
+        BrokerNode::new(BrokerId(0), NodeConfig::default())
+    }
+
+    #[test]
+    fn publish_then_drain_delivers_to_event_subscribers() {
+        let mut n = node();
+        n.subscribe(42, "wind", SubMode::Event, FOREVER, SimTime::ZERO);
+        n.publish(pkt("wind", 1), SimTime::from_secs(1)).unwrap();
+        let effects = n.drain(SimTime::from_secs(1));
+        assert_eq!(effects.len(), 1);
+        assert!(matches!(
+            &effects[0],
+            Effect::Deliver { subscriber: 42, .. }
+        ));
+        assert_eq!(n.stats().delivered, 1);
+    }
+
+    #[test]
+    fn hygiene_is_enforced_at_admission() {
+        let mut n = node();
+        let mut anon = pkt("wind", 0);
+        anon.source = String::new();
+        assert_eq!(n.publish(anon, SimTime::ZERO), Err(BrokerError::Unattributed));
+        let stale = pkt("wind", 0); // expires at t=60
+        assert_eq!(
+            n.publish(stale, SimTime::from_secs(100)),
+            Err(BrokerError::ExpiredOnArrival)
+        );
+        n.block_source("src-a");
+        assert!(matches!(
+            n.publish(pkt("wind", 200), SimTime::from_secs(200)),
+            Err(BrokerError::SourceBlocked(_))
+        ));
+        assert_eq!(n.stats().admission.refused(), 3);
+        assert_eq!(n.stats().admission.admitted, 0);
+    }
+
+    #[test]
+    fn bounded_inbox_sheds_beyond_capacity() {
+        let mut n = BrokerNode::new(
+            BrokerId(0),
+            NodeConfig {
+                inbox_capacity: 2,
+                ..NodeConfig::default()
+            },
+        );
+        let now = SimTime::from_secs(1);
+        assert!(n.publish(pkt("a", 1), now).is_ok());
+        assert!(n.publish(pkt("b", 1), now).is_ok());
+        assert_eq!(
+            n.publish(pkt("c", 1), now),
+            Err(BrokerError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(n.stats().admission.shed, 1);
+        // Draining frees capacity again.
+        n.drain(now);
+        assert!(n.publish(pkt("c", 1), now).is_ok());
+    }
+
+    #[test]
+    fn federation_forwards_once_and_never_loops() {
+        let mut a = node();
+        a.peers_mut().introduce(BrokerId(1), 10, SimTime::ZERO);
+        a.publish(pkt("t", 1), SimTime::from_secs(1)).unwrap();
+        let effects = a.drain(SimTime::from_secs(1));
+        let forwards: Vec<_> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Forward { to, packet } => Some((*to, packet.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(forwards.len(), 1);
+        let (to, fwd) = &forwards[0];
+        assert_eq!(*to, BrokerId(1));
+        assert!(fwd.visited(BrokerId(0)));
+
+        // The peer must not forward it back.
+        let mut b = BrokerNode::new(BrokerId(1), NodeConfig::default());
+        b.peers_mut().introduce(BrokerId(0), 10, SimTime::ZERO);
+        b.publish(fwd.clone(), SimTime::from_secs(1)).unwrap();
+        let back = b.drain(SimTime::from_secs(1));
+        assert!(back.iter().all(|e| !matches!(e, Effect::Forward { .. })));
+        assert_eq!(b.stats().loops_dropped, 1);
+    }
+
+    #[test]
+    fn periodic_fire_serves_retained_context() {
+        let mut n = node();
+        n.subscribe(
+            9,
+            "temperature",
+            SubMode::Periodic(SimDuration::from_secs(10)),
+            FOREVER,
+            SimTime::ZERO,
+        );
+        n.publish(pkt("temperature", 1), SimTime::from_secs(1)).unwrap();
+        n.drain(SimTime::from_secs(1));
+        assert!(n.periodic_fire(SimTime::from_secs(5)).is_empty());
+        let fired = n.periodic_fire(SimTime::from_secs(10));
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn fetch_respects_lifetime_and_sweep_counts() {
+        let mut n = node();
+        n.publish(pkt("wind", 0), SimTime::ZERO).unwrap(); // expires t=60
+        n.drain(SimTime::ZERO);
+        assert!(n.fetch("wind", SimTime::from_secs(30)).is_ok());
+        assert!(matches!(
+            n.fetch("wind", SimTime::from_secs(61)),
+            Err(BrokerError::NoSuchContext(_))
+        ));
+        let swept = n.sweep(SimTime::from_secs(61));
+        assert_eq!(swept.packets, 1);
+        assert_eq!(n.stats().packets_expired, 1);
+    }
+
+    #[test]
+    fn one_shot_is_answered_once() {
+        let mut n = node();
+        n.subscribe(5, "noise", SubMode::OneShot, FOREVER, SimTime::ZERO);
+        n.publish(pkt("noise", 1), SimTime::from_secs(1)).unwrap();
+        n.publish(pkt("noise", 2), SimTime::from_secs(2)).unwrap();
+        let effects = n.drain(SimTime::from_secs(2));
+        let deliveries = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Deliver { .. }))
+            .count();
+        assert_eq!(deliveries, 1);
+        assert_eq!(n.subscriptions(), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The context packet: the broker-side representation of a published
+//! [`CxtItem`], with the hygiene contract made unskippable.
+//!
+//! Two fields the middleware treats as optional metadata are *mandatory*
+//! here, by construction: every packet carries an **expiry instant**
+//! (brokers never retain or deliver stale context) and a **source
+//! attribution** (the audit trail [`AccessController`] vets on
+//! delivery). A third field the core has no use for — the **hop list**
+//! — records which brokers federated the packet, bounding forwarding
+//! loops and making the provenance of every delivery auditable.
+//!
+//! Values travel as fixed-point milli-units (`i64`), never floats: the
+//! broker fan-out path is shared with the sharded simulation engine,
+//! whose byte-identity contract floats would undermine.
+//!
+//! [`AccessController`]: contory::AccessController
+
+use contory::vocab::Sym;
+use contory::{CxtItem, CxtValue};
+use simkit::{SimDuration, SimTime};
+use std::fmt;
+
+/// Stable identity of a broker in the federation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BrokerId(pub u16);
+
+impl fmt::Display for BrokerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "broker{}", self.0)
+    }
+}
+
+/// Maximum federation hops a packet may take before brokers drop it.
+pub const MAX_HOPS: usize = 3;
+
+/// A published context record as brokers store and forward it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContextPacket {
+    /// Interned context type, assigned by the admitting broker
+    /// ([`Sym::default`] until admission).
+    pub cxt_type: Sym,
+    /// Context type name as published on the wire.
+    pub type_name: String,
+    /// Fixed-point value in milli-units (e.g. m°C, mm/s).
+    pub value_milli: i64,
+    /// When the source observed the value.
+    pub published_at: SimTime,
+    /// Instant after which the packet must never be delivered or
+    /// retained. Mandatory: there is no way to build an eternal packet.
+    pub expires_at: SimTime,
+    /// Attributed source. Mandatory and non-empty; unattributed publishes
+    /// are refused at admission.
+    pub source: String,
+    /// Brokers this packet already visited, in federation order.
+    pub hops: Vec<BrokerId>,
+}
+
+impl ContextPacket {
+    /// Builds a packet. The expiry is `published_at + lifetime` — there
+    /// is deliberately no constructor taking an unbounded lifetime.
+    pub fn new(
+        type_name: impl Into<String>,
+        value_milli: i64,
+        published_at: SimTime,
+        lifetime: SimDuration,
+        source: impl Into<String>,
+    ) -> Self {
+        ContextPacket {
+            cxt_type: Sym::default(),
+            type_name: type_name.into(),
+            value_milli,
+            published_at,
+            expires_at: published_at + lifetime,
+            source: source.into(),
+            hops: Vec::new(),
+        }
+    }
+
+    /// True while the packet may still be delivered.
+    pub fn is_valid_at(&self, now: SimTime) -> bool {
+        now <= self.expires_at
+    }
+
+    /// True if the packet carries a non-empty source attribution.
+    pub fn is_attributed(&self) -> bool {
+        !self.source.is_empty()
+    }
+
+    /// True if this broker already federated the packet (loop guard).
+    pub fn visited(&self, broker: BrokerId) -> bool {
+        self.hops.contains(&broker)
+    }
+
+    /// Records a federation hop through `broker`.
+    pub fn with_hop(mut self, broker: BrokerId) -> Self {
+        self.hops.push(broker);
+        self
+    }
+
+    /// Remaining lifetime at `now` (zero once expired).
+    pub fn ttl_at(&self, now: SimTime) -> SimDuration {
+        if now >= self.expires_at {
+            SimDuration::ZERO
+        } else {
+            self.expires_at.since(now)
+        }
+    }
+
+    /// Converts to the middleware's item type, preserving the mandatory
+    /// lifetime and attribution.
+    pub fn to_cxt_item(&self) -> CxtItem {
+        CxtItem::new(
+            self.type_name.clone(),
+            CxtValue::number(self.value_milli as f64 / 1000.0),
+            self.published_at,
+        )
+        .with_lifetime(self.expires_at.since(self.published_at))
+        .with_source(self.source.clone())
+    }
+
+    /// Builds a packet from a middleware item, enforcing the hygiene
+    /// contract: items without a lifetime or a source are refused.
+    pub fn from_cxt_item(item: &CxtItem) -> Result<Self, PacketError> {
+        let lifetime = item.lifetime.ok_or(PacketError::MissingLifetime)?;
+        let source = item
+            .source
+            .as_ref()
+            .map(|s| s.0.clone())
+            .filter(|s| !s.is_empty())
+            .ok_or(PacketError::MissingSource)?;
+        let value_milli = item
+            .value
+            .as_f64()
+            .map(|v| (v * 1000.0).round() as i64)
+            .unwrap_or(0);
+        Ok(ContextPacket::new(
+            item.cxt_type.clone(),
+            value_milli,
+            item.timestamp,
+            lifetime,
+            source,
+        ))
+    }
+}
+
+/// Why a [`CxtItem`] could not become a [`ContextPacket`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// The item has no lifetime; brokers only accept time-bound context.
+    MissingLifetime,
+    /// The item has no (or an empty) source attribution.
+    MissingSource,
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::MissingLifetime => f.write_str("context item carries no lifetime"),
+            PacketError::MissingSource => f.write_str("context item carries no source attribution"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_is_mandatory_by_construction() {
+        let p = ContextPacket::new(
+            "wind",
+            5_000,
+            SimTime::from_secs(10),
+            SimDuration::from_secs(30),
+            "buoy-1",
+        );
+        assert_eq!(p.expires_at, SimTime::from_secs(40));
+        assert!(p.is_valid_at(SimTime::from_secs(40)));
+        assert!(!p.is_valid_at(SimTime::from_secs(41)));
+        assert_eq!(p.ttl_at(SimTime::from_secs(35)), SimDuration::from_secs(5));
+        assert_eq!(p.ttl_at(SimTime::from_secs(50)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hop_list_guards_federation_loops() {
+        let p = ContextPacket::new("t", 0, SimTime::ZERO, SimDuration::from_secs(1), "s")
+            .with_hop(BrokerId(2))
+            .with_hop(BrokerId(5));
+        assert!(p.visited(BrokerId(2)));
+        assert!(!p.visited(BrokerId(3)));
+        assert_eq!(p.hops.len(), 2);
+    }
+
+    #[test]
+    fn cxt_item_round_trip_preserves_the_contract() {
+        let p = ContextPacket::new(
+            "temperature",
+            21_500,
+            SimTime::from_secs(3),
+            SimDuration::from_secs(60),
+            "station-9",
+        );
+        let item = p.to_cxt_item();
+        assert_eq!(item.lifetime, Some(SimDuration::from_secs(60)));
+        assert_eq!(item.source.as_ref().map(|s| s.0.as_str()), Some("station-9"));
+        let back = ContextPacket::from_cxt_item(&item).unwrap();
+        assert_eq!(back.value_milli, 21_500);
+        assert_eq!(back.expires_at, p.expires_at);
+    }
+
+    #[test]
+    fn unhygienic_items_are_refused() {
+        use contory::CxtValue;
+        let eternal = CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO)
+            .with_source("s");
+        assert_eq!(
+            ContextPacket::from_cxt_item(&eternal),
+            Err(PacketError::MissingLifetime)
+        );
+        let anonymous = CxtItem::new("t", CxtValue::number(1.0), SimTime::ZERO)
+            .with_lifetime(SimDuration::from_secs(1));
+        assert_eq!(
+            ContextPacket::from_cxt_item(&anonymous),
+            Err(PacketError::MissingSource)
+        );
+    }
+}

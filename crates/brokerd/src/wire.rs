@@ -1,0 +1,387 @@
+//! Line-oriented wire codec for the loopback TCP service.
+//!
+//! One frame per line, ASCII, space-separated — trivially debuggable
+//! with `nc` and free of serialization dependencies. Times travel as
+//! **logical-clock microseconds**: the service has no wall clock (the
+//! repo-wide determinism lint bans one), so every request carries the
+//! client's logical `now` and the server's clock is the max it has
+//! heard. Sources and type names are percent-free tokens; spaces are
+//! rejected at encode time.
+//!
+//! Frames:
+//!
+//! ```text
+//! PUB <type> <value_milli> <published_us> <expires_us> <source> [hops]
+//! SUB <type> <oneshot|periodic|event> <period_us> <expires_us> <now_us>
+//! UNSUB <sub_id>
+//! FETCH <type> <now_us>
+//! PING <now_us>
+//! OK <token>
+//! ERR <code> <detail>
+//! EVT <sub_id> <type> <value_milli> <published_us> <expires_us> <source> <hops>
+//! PONG <now_us>
+//! ```
+//!
+//! `hops` is a comma-separated broker-id list, `-` when empty.
+
+use crate::packet::{BrokerId, ContextPacket};
+use crate::table::{SubId, SubMode};
+use simkit::{SimDuration, SimTime};
+use std::fmt;
+
+/// A parsed request frame (client → broker).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Publish a context packet.
+    Pub(ContextPacket),
+    /// Open a subscription.
+    Sub {
+        /// Context type.
+        type_name: String,
+        /// Delivery mode.
+        mode: SubMode,
+        /// Duration-derived expiry.
+        expires_at: SimTime,
+        /// Client logical clock.
+        now: SimTime,
+    },
+    /// Cancel a subscription.
+    Unsub(SubId),
+    /// On-demand fetch of retained context.
+    Fetch {
+        /// Context type.
+        type_name: String,
+        /// Client logical clock.
+        now: SimTime,
+    },
+    /// Clock advance / liveness probe.
+    Ping(SimTime),
+}
+
+/// A response frame (broker → client).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Success carrying an opaque token (sub id, "pub", …).
+    Ok(String),
+    /// Typed refusal.
+    Err {
+        /// Stable machine-readable code.
+        code: String,
+        /// Human detail (no spaces guaranteed only for `code`).
+        detail: String,
+    },
+    /// A delivery.
+    Evt {
+        /// Subscription being served.
+        sub: SubId,
+        /// The delivered packet.
+        packet: ContextPacket,
+    },
+    /// Ping echo.
+    Pong(SimTime),
+}
+
+/// Codec failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+fn token(parts: &[&str], i: usize, what: &str) -> Result<String, WireError> {
+    parts
+        .get(i)
+        .map(|s| (*s).to_owned())
+        .ok_or_else(|| err(format!("missing {what}")))
+}
+
+fn number(parts: &[&str], i: usize, what: &str) -> Result<u64, WireError> {
+    token(parts, i, what)?
+        .parse::<u64>()
+        .map_err(|_| err(format!("bad {what}")))
+}
+
+fn signed(parts: &[&str], i: usize, what: &str) -> Result<i64, WireError> {
+    token(parts, i, what)?
+        .parse::<i64>()
+        .map_err(|_| err(format!("bad {what}")))
+}
+
+fn encode_hops(hops: &[BrokerId]) -> String {
+    if hops.is_empty() {
+        "-".to_owned()
+    } else {
+        hops.iter()
+            .map(|b| b.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn decode_hops(text: &str) -> Result<Vec<BrokerId>, WireError> {
+    if text == "-" {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|t| t.parse::<u16>().map(BrokerId).map_err(|_| err("bad hop id")))
+        .collect()
+}
+
+fn check_token(t: &str, what: &str) -> Result<(), WireError> {
+    if t.is_empty() || t.contains(' ') || t.contains('\n') {
+        Err(err(format!("{what} must be a non-empty spaceless token")))
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_packet(parts: &[&str], at: usize) -> Result<ContextPacket, WireError> {
+    let type_name = token(parts, at, "type")?;
+    let value_milli = signed(parts, at + 1, "value")?;
+    let published = SimTime::from_micros(number(parts, at + 2, "published_us")?);
+    let expires = SimTime::from_micros(number(parts, at + 3, "expires_us")?);
+    if expires < published {
+        return Err(err("expiry precedes publish time"));
+    }
+    let source = token(parts, at + 4, "source")?;
+    let hops = decode_hops(&token(parts, at + 5, "hops").unwrap_or_else(|_| "-".into()))?;
+    let mut p = ContextPacket::new(
+        type_name,
+        value_milli,
+        published,
+        expires.since(published),
+        source,
+    );
+    p.hops = hops;
+    Ok(p)
+}
+
+fn encode_packet(p: &ContextPacket) -> Result<String, WireError> {
+    check_token(&p.type_name, "type")?;
+    check_token(&p.source, "source")?;
+    Ok(format!(
+        "{} {} {} {} {} {}",
+        p.type_name,
+        p.value_milli,
+        p.published_at.as_micros(),
+        p.expires_at.as_micros(),
+        p.source,
+        encode_hops(&p.hops),
+    ))
+}
+
+impl Request {
+    /// Encodes the request as one line (no trailing newline).
+    pub fn encode(&self) -> Result<String, WireError> {
+        match self {
+            Request::Pub(p) => Ok(format!("PUB {}", encode_packet(p)?)),
+            Request::Sub {
+                type_name,
+                mode,
+                expires_at,
+                now,
+            } => {
+                check_token(type_name, "type")?;
+                let (mode_word, period) = match mode {
+                    SubMode::OneShot => ("oneshot", 0),
+                    SubMode::Periodic(p) => ("periodic", p.as_micros()),
+                    SubMode::Event => ("event", 0),
+                };
+                Ok(format!(
+                    "SUB {type_name} {mode_word} {period} {} {}",
+                    expires_at.as_micros(),
+                    now.as_micros(),
+                ))
+            }
+            Request::Unsub(id) => Ok(format!("UNSUB {}", id.0)),
+            Request::Fetch { type_name, now } => {
+                check_token(type_name, "type")?;
+                Ok(format!("FETCH {type_name} {}", now.as_micros()))
+            }
+            Request::Ping(now) => Ok(format!("PING {}", now.as_micros())),
+        }
+    }
+
+    /// Parses one request line.
+    pub fn decode(line: &str) -> Result<Request, WireError> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("PUB") => Ok(Request::Pub(decode_packet(&parts, 1)?)),
+            Some("SUB") => {
+                let type_name = token(&parts, 1, "type")?;
+                let mode_word = token(&parts, 2, "mode")?;
+                let period = SimDuration::from_micros(number(&parts, 3, "period_us")?);
+                let mode = match mode_word.as_str() {
+                    "oneshot" => SubMode::OneShot,
+                    "periodic" => {
+                        if period.is_zero() {
+                            return Err(err("periodic mode requires a non-zero period"));
+                        }
+                        SubMode::Periodic(period)
+                    }
+                    "event" => SubMode::Event,
+                    other => return Err(err(format!("unknown mode {other}"))),
+                };
+                Ok(Request::Sub {
+                    type_name,
+                    mode,
+                    expires_at: SimTime::from_micros(number(&parts, 4, "expires_us")?),
+                    now: SimTime::from_micros(number(&parts, 5, "now_us")?),
+                })
+            }
+            Some("UNSUB") => Ok(Request::Unsub(SubId(number(&parts, 1, "sub_id")?))),
+            Some("FETCH") => Ok(Request::Fetch {
+                type_name: token(&parts, 1, "type")?,
+                now: SimTime::from_micros(number(&parts, 2, "now_us")?),
+            }),
+            Some("PING") => Ok(Request::Ping(SimTime::from_micros(number(
+                &parts, 1, "now_us",
+            )?))),
+            Some(other) => Err(err(format!("unknown request {other}"))),
+            None => Err(err("empty line")),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as one line (no trailing newline).
+    pub fn encode(&self) -> Result<String, WireError> {
+        match self {
+            Response::Ok(tok) => {
+                check_token(tok, "token")?;
+                Ok(format!("OK {tok}"))
+            }
+            Response::Err { code, detail } => {
+                check_token(code, "code")?;
+                let detail = if detail.is_empty() {
+                    "-".to_owned()
+                } else {
+                    detail.replace([' ', '\n'], "_")
+                };
+                Ok(format!("ERR {code} {detail}"))
+            }
+            Response::Evt { sub, packet } => Ok(format!("EVT {} {}", sub.0, encode_packet(packet)?)),
+            Response::Pong(now) => Ok(format!("PONG {}", now.as_micros())),
+        }
+    }
+
+    /// Parses one response line.
+    pub fn decode(line: &str) -> Result<Response, WireError> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("OK") => Ok(Response::Ok(token(&parts, 1, "token")?)),
+            Some("ERR") => Ok(Response::Err {
+                code: token(&parts, 1, "code")?,
+                detail: token(&parts, 2, "detail").unwrap_or_else(|_| "-".into()),
+            }),
+            Some("EVT") => Ok(Response::Evt {
+                sub: SubId(number(&parts, 1, "sub_id")?),
+                packet: decode_packet(&parts, 2)?,
+            }),
+            Some("PONG") => Ok(Response::Pong(SimTime::from_micros(number(
+                &parts, 1, "now_us",
+            )?))),
+            Some(other) => Err(err(format!("unknown response {other}"))),
+            None => Err(err("empty line")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet() -> ContextPacket {
+        let mut p = ContextPacket::new(
+            "wind",
+            12_500,
+            SimTime::from_micros(1_000_000),
+            SimDuration::from_secs(30),
+            "buoy-7",
+        );
+        p.hops = vec![BrokerId(0), BrokerId(2)];
+        p
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Pub(sample_packet()),
+            Request::Sub {
+                type_name: "temperature".into(),
+                mode: SubMode::Periodic(SimDuration::from_secs(5)),
+                expires_at: SimTime::from_secs(3600),
+                now: SimTime::from_secs(1),
+            },
+            Request::Sub {
+                type_name: "noise".into(),
+                mode: SubMode::Event,
+                expires_at: SimTime::from_secs(60),
+                now: SimTime::ZERO,
+            },
+            Request::Unsub(SubId(9)),
+            Request::Fetch {
+                type_name: "wind".into(),
+                now: SimTime::from_secs(2),
+            },
+            Request::Ping(SimTime::from_micros(123)),
+        ];
+        for r in reqs {
+            let line = r.encode().unwrap();
+            assert_eq!(Request::decode(&line).unwrap(), r, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Ok("sub3".into()),
+            Response::Err {
+                code: "queue_full".into(),
+                detail: "capacity_64".into(),
+            },
+            Response::Evt {
+                sub: SubId(3),
+                packet: sample_packet(),
+            },
+            Response::Pong(SimTime::from_secs(9)),
+        ];
+        for r in resps {
+            let line = r.encode().unwrap();
+            assert_eq!(Response::decode(&line).unwrap(), r, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicking() {
+        for bad in [
+            "",
+            "NOPE x",
+            "PUB wind",
+            "PUB wind abc 0 0 src -",
+            "SUB t periodic 0 0 0",
+            "SUB t warp 1 0 0",
+            "PUB wind 1 10 5 src -", // expiry before publish
+            "UNSUB xyz",
+        ] {
+            assert!(Request::decode(bad).is_err(), "accepted: {bad:?}");
+        }
+        assert!(Response::decode("EVT 1 t 1 0").is_err());
+    }
+
+    #[test]
+    fn tokens_with_spaces_are_refused_at_encode_time() {
+        let mut p = sample_packet();
+        p.source = "two words".into();
+        assert!(Request::Pub(p).encode().is_err());
+    }
+}

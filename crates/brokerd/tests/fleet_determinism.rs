@@ -1,0 +1,72 @@
+//! Partition-invariance of the broker fleet: the same scenario must
+//! produce a byte-identical [`FleetOutcome::report`] across engine
+//! shard counts, worker-thread counts and broker table shard counts —
+//! including under scripted broker faults.
+
+use brokerd::{fault_edges, run_fleet, FleetConfig, NodeConfig};
+use simkit::faults::FaultPlan;
+use simkit::{SimDuration, SimTime};
+
+fn cfg(seed: u64, shards: u32, threads: u32, table_shards: usize) -> FleetConfig {
+    FleetConfig {
+        seed,
+        brokers: 4,
+        devices: 400,
+        shards,
+        threads,
+        run_for: SimDuration::from_secs(30),
+        node: NodeConfig {
+            table_shards,
+            ..NodeConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_the_partition_matrix() {
+    for seed in [1u64, 17] {
+        let reference = run_fleet(&cfg(seed, 1, 1, 1)).report();
+        for (shards, threads) in [(1u32, 2u32), (4, 1), (4, 4)] {
+            for table_shards in [1usize, 4] {
+                let got = run_fleet(&cfg(seed, shards, threads, table_shards)).report();
+                assert_eq!(
+                    got, reference,
+                    "diverged: seed={seed} shards={shards} threads={threads} \
+                     table_shards={table_shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_are_equally_partition_invariant() {
+    let mut plan = FaultPlan::new(23);
+    plan.kill_at("broker:1", SimTime::from_secs(10));
+    plan.down_between("broker:3", SimTime::from_secs(5), SimTime::from_secs(15));
+    let edges = fault_edges(&plan, 4);
+
+    let mut base = cfg(23, 1, 1, 4);
+    base.fault_edges = edges.clone();
+    let reference = run_fleet(&base).report();
+    assert!(reference.contains("rehomes="), "report shape changed");
+
+    for (shards, threads) in [(2u32, 2u32), (4, 4)] {
+        let mut c = cfg(23, shards, threads, 4);
+        c.fault_edges = edges.clone();
+        assert_eq!(
+            run_fleet(&c).report(),
+            reference,
+            "faulted run diverged at shards={shards} threads={threads}"
+        );
+    }
+
+    // And the faults actually bit: re-homing happened.
+    let out = {
+        let mut c = cfg(23, 1, 1, 4);
+        c.fault_edges = edges;
+        run_fleet(&c)
+    };
+    assert!(out.rehomes > 0, "kill produced no re-homing");
+}

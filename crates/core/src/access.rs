@@ -37,6 +37,42 @@ pub enum AccessDecision {
 /// Application hook consulted for unknown sources in high-security mode.
 pub type Decider = Rc<dyn Fn(&SourceId) -> bool>;
 
+/// What the controller concluded about one vetted interaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditVerdict {
+    /// The source was admitted.
+    Granted,
+    /// The source was refused (blocklist or application decision).
+    Blocked,
+    /// The context carried no source attribution at all — refused under
+    /// the brokerd hygiene contract (every context packet must be
+    /// attributable).
+    Unattributed,
+}
+
+impl fmt::Display for AuditVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AuditVerdict::Granted => "granted",
+            AuditVerdict::Blocked => "blocked",
+            AuditVerdict::Unattributed => "unattributed",
+        })
+    }
+}
+
+/// One line of the controller's audit trail: who was vetted, in which
+/// admission order, with what outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Monotonic decision sequence number (deterministic admission
+    /// order; the controller has no clock of its own).
+    pub seq: u64,
+    /// The vetted source (`None` for unattributed context).
+    pub source: Option<SourceId>,
+    /// The outcome.
+    pub verdict: AuditVerdict,
+}
+
 struct Inner {
     mode: SecurityMode,
     /// Most-recently-used list of known-good sources, newest at the back.
@@ -44,6 +80,33 @@ struct Inner {
     capacity: usize,
     blocked: BTreeSet<SourceId>,
     decider: Option<Decider>,
+    /// Bounded audit ring, newest at the back.
+    audit: std::collections::VecDeque<AuditEntry>,
+    audit_capacity: usize,
+    audit_seq: u64,
+    granted_total: u64,
+    blocked_total: u64,
+    unattributed_total: u64,
+}
+
+impl Inner {
+    fn record(&mut self, source: Option<SourceId>, verdict: AuditVerdict) {
+        match verdict {
+            AuditVerdict::Granted => self.granted_total += 1,
+            AuditVerdict::Blocked => self.blocked_total += 1,
+            AuditVerdict::Unattributed => self.unattributed_total += 1,
+        }
+        let seq = self.audit_seq;
+        self.audit_seq += 1;
+        if self.audit.len() >= self.audit_capacity {
+            self.audit.pop_front();
+        }
+        self.audit.push_back(AuditEntry {
+            seq,
+            source,
+            verdict,
+        });
+    }
 }
 
 /// Shared handle to the access controller.
@@ -76,6 +139,12 @@ impl AccessController {
                 capacity,
                 blocked: BTreeSet::new(),
                 decider: None,
+                audit: std::collections::VecDeque::new(),
+                audit_capacity: 256,
+                audit_seq: 0,
+                granted_total: 0,
+                blocked_total: 0,
+                unattributed_total: 0,
             })),
         }
     }
@@ -114,17 +183,20 @@ impl AccessController {
     ) -> AccessDecision {
         let mut inner = self.inner.borrow_mut();
         if inner.blocked.contains(source) {
+            inner.record(Some(source.clone()), AuditVerdict::Blocked);
             return AccessDecision::Blocked;
         }
         if let Some(pos) = inner.known.iter().position(|s| s == source) {
             // Refresh: move to most-recent position.
             let s = inner.known.remove(pos);
             inner.known.push(s);
+            inner.record(Some(source.clone()), AuditVerdict::Granted);
             return AccessDecision::Granted;
         }
         match inner.mode {
             SecurityMode::Low => {
                 Self::admit(&mut inner, source.clone());
+                inner.record(Some(source.clone()), AuditVerdict::Granted);
                 AccessDecision::Granted
             }
             SecurityMode::High => {
@@ -137,13 +209,52 @@ impl AccessController {
                 let mut inner = self.inner.borrow_mut();
                 if allowed {
                     Self::admit(&mut inner, source.clone());
+                    inner.record(Some(source.clone()), AuditVerdict::Granted);
                     AccessDecision::Granted
                 } else {
                     inner.blocked.insert(source.clone());
+                    inner.record(Some(source.clone()), AuditVerdict::Blocked);
                     AccessDecision::Blocked
                 }
             }
         }
+    }
+
+    /// Vets a possibly-unattributed piece of context: attribution is
+    /// mandatory (the brokerd hygiene contract), so `None` is refused
+    /// outright and recorded as [`AuditVerdict::Unattributed`]; a named
+    /// source goes through the normal [`AccessController::check_with`]
+    /// path.
+    pub fn check_attributed(
+        &self,
+        source: Option<&SourceId>,
+        fallback: Option<&dyn Fn(&SourceId) -> bool>,
+    ) -> AccessDecision {
+        match source {
+            Some(s) => self.check_with(s, fallback),
+            None => {
+                self.inner
+                    .borrow_mut()
+                    .record(None, AuditVerdict::Unattributed);
+                AccessDecision::Blocked
+            }
+        }
+    }
+
+    /// The retained audit trail, oldest first (bounded ring).
+    pub fn audit_trail(&self) -> Vec<AuditEntry> {
+        self.inner.borrow().audit.iter().cloned().collect()
+    }
+
+    /// Lifetime decision totals `(granted, blocked, unattributed)` —
+    /// unaffected by the ring bound.
+    pub fn audit_totals(&self) -> (u64, u64, u64) {
+        let inner = self.inner.borrow();
+        (
+            inner.granted_total,
+            inner.blocked_total,
+            inner.unattributed_total,
+        )
     }
 
     fn admit(inner: &mut Inner, source: SourceId) {
@@ -248,5 +359,45 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = AccessController::new(SecurityMode::Low, 0);
+    }
+
+    #[test]
+    fn audit_trail_records_decisions_in_order() {
+        let ac = AccessController::new(SecurityMode::Low, 4);
+        ac.check(&src("a"));
+        ac.block(src("b"));
+        ac.check(&src("b"));
+        ac.check_attributed(None, None);
+        let trail = ac.audit_trail();
+        assert_eq!(trail.len(), 3); // block() itself is not a vetting event
+        assert_eq!(trail[0].seq, 0);
+        assert_eq!(trail[0].verdict, AuditVerdict::Granted);
+        assert_eq!(trail[1].verdict, AuditVerdict::Blocked);
+        assert_eq!(trail[1].source, Some(src("b")));
+        assert_eq!(trail[2].verdict, AuditVerdict::Unattributed);
+        assert_eq!(trail[2].source, None);
+        assert_eq!(ac.audit_totals(), (1, 1, 1));
+    }
+
+    #[test]
+    fn unattributed_context_is_refused() {
+        let ac = AccessController::new(SecurityMode::Low, 4);
+        assert_eq!(ac.check_attributed(None, None), AccessDecision::Blocked);
+        assert_eq!(
+            ac.check_attributed(Some(&src("boat-1")), None),
+            AccessDecision::Granted
+        );
+    }
+
+    #[test]
+    fn audit_ring_is_bounded_but_totals_are_not() {
+        let ac = AccessController::new(SecurityMode::Low, 4);
+        for i in 0..300 {
+            ac.check(&src(&format!("s{}", i % 3)));
+        }
+        let trail = ac.audit_trail();
+        assert_eq!(trail.len(), 256);
+        assert_eq!(trail.last().unwrap().seq, 299);
+        assert_eq!(ac.audit_totals().0, 300);
     }
 }

@@ -159,6 +159,18 @@ impl ContextFactory {
         let monitor = ResourcesMonitor::new();
         let access = AccessController::new(config.security, config.access_capacity);
         let repo = CxtRepository::new(config.repo_capacity);
+        {
+            // Lifetime enforcement (§4.3): queries never see expired
+            // items, and a periodic sweep evicts them deterministically.
+            let clock_sim = sim.clone();
+            repo.set_clock(Rc::new(move || clock_sim.now()));
+            let sweep_repo = repo.clone();
+            let sweep_sim = sim.clone();
+            sim.schedule_repeating(config.recovery_probe, move || {
+                sweep_repo.sweep_expired(sweep_sim.now());
+                true
+            });
+        }
         if let Some(cell) = &refs.cell {
             repo.set_remote(cell.clone());
         }

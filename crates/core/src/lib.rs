@@ -63,9 +63,9 @@ mod publisher;
 pub mod query;
 pub mod refs;
 mod repository;
-mod vocab;
+pub mod vocab;
 
-pub use access::{AccessController, AccessDecision, SecurityMode};
+pub use access::{AccessController, AccessDecision, AuditEntry, AuditVerdict, SecurityMode};
 pub use aggregator::{AggregationStrategy, CxtAggregator};
 pub use backoff::{BackoffPolicy, BackoffState};
 pub use client::{Client, ClientEvent, CollectingClient};
@@ -79,4 +79,4 @@ pub use monitor::{ResourceEvent, ResourceLevel, ResourcesMonitor};
 pub use predicate::EventWindow;
 pub use publisher::CxtPublisher;
 pub use repository::CxtRepository;
-pub use vocab::{cxt_types, metadata_keys, operators, rule_actions};
+pub use vocab::{cxt_types, metadata_keys, operators, rule_actions, Interner, Sym};

@@ -2,9 +2,18 @@
 //! information, locally or remotely. Only a few recent context data are
 //! stored locally, while complete logs can be stored in remote
 //! repositories of context infrastructures."
+//!
+//! Lifetimes are **enforced**, not decorative: once a clock is wired
+//! (the factory installs the simulation clock), items past
+//! `timestamp + lifetime` are never returned by [`CxtRepository::recent`]
+//! or [`CxtRepository::latest`], and [`CxtRepository::sweep_expired`]
+//! evicts them deterministically (oldest first, types in `BTreeMap`
+//! order) — the same lifetime-bound contract brokerd's context packets
+//! carry on the wire.
 
 use crate::item::CxtItem;
 use crate::refs::{CellReference, RefError};
+use simkit::SimTime;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -15,6 +24,8 @@ struct Inner {
     per_type: BTreeMap<String, VecDeque<CxtItem>>,
     cap_per_type: usize,
     remote: Option<Rc<dyn CellReference>>,
+    clock: Option<Rc<dyn Fn() -> SimTime>>,
+    expired_evicted: u64,
 }
 
 /// Shared handle to the context repository.
@@ -47,6 +58,8 @@ impl CxtRepository {
                 per_type: BTreeMap::new(),
                 cap_per_type,
                 remote: None,
+                clock: None,
+                expired_evicted: 0,
             })),
         }
     }
@@ -55,6 +68,14 @@ impl CxtRepository {
     /// through the `2G/3GReference`).
     pub fn set_remote(&self, cell: Rc<dyn CellReference>) {
         self.inner.borrow_mut().remote = Some(cell);
+    }
+
+    /// Wires the clock lifetime enforcement reads `now` from (the
+    /// factory installs the simulation clock). Without a clock the
+    /// repository cannot know the current instant, so expiry filtering
+    /// is inert — exactly the pre-enforcement behaviour.
+    pub fn set_clock(&self, clock: Rc<dyn Fn() -> SimTime>) {
+        self.inner.borrow_mut().clock = Some(clock);
     }
 
     /// Stores an item in the local ring for its type.
@@ -86,21 +107,61 @@ impl CxtRepository {
     }
 
     /// The `n` most recent locally stored items of a type, oldest first.
+    /// Items past their lifetime at the wired clock's `now` are never
+    /// returned.
     pub fn recent(&self, cxt_type: &str, n: usize) -> Vec<CxtItem> {
         let inner = self.inner.borrow();
+        let now = inner.clock.as_ref().map(|c| c());
         match inner.per_type.get(cxt_type) {
-            Some(ring) => ring.iter().rev().take(n).rev().cloned().collect(),
+            Some(ring) => {
+                let mut out: Vec<CxtItem> = ring
+                    .iter()
+                    .rev()
+                    .filter(|i| now.is_none_or(|t| i.is_valid_at(t)))
+                    .take(n)
+                    .cloned()
+                    .collect();
+                out.reverse();
+                out
+            }
             None => Vec::new(),
         }
     }
 
-    /// The most recent locally stored item of a type.
+    /// The most recent locally stored item of a type that is still
+    /// within its lifetime at the wired clock's `now`.
     pub fn latest(&self, cxt_type: &str) -> Option<CxtItem> {
-        self.inner
-            .borrow()
-            .per_type
-            .get(cxt_type)
-            .and_then(|r| r.back().cloned())
+        let inner = self.inner.borrow();
+        let now = inner.clock.as_ref().map(|c| c());
+        inner.per_type.get(cxt_type).and_then(|r| {
+            r.iter()
+                .rev()
+                .find(|i| now.is_none_or(|t| i.is_valid_at(t)))
+                .cloned()
+        })
+    }
+
+    /// Evicts every item past its lifetime at `now`, deterministically
+    /// (types in `BTreeMap` order, items oldest-first within a ring).
+    /// Returns how many items were evicted.
+    pub fn sweep_expired(&self, now: SimTime) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let mut evicted = 0usize;
+        for ring in inner.per_type.values_mut() {
+            let before = ring.len();
+            ring.retain(|i| i.is_valid_at(now));
+            evicted += before - ring.len();
+        }
+        inner.expired_evicted += evicted as u64;
+        if evicted > 0 {
+            obskit::count("repo_expired_evicted", evicted as u64);
+        }
+        evicted
+    }
+
+    /// Total items evicted by expiry sweeps over this repository's life.
+    pub fn expired_evicted(&self) -> u64 {
+        self.inner.borrow().expired_evicted
     }
 
     /// Total items stored locally.
@@ -208,5 +269,73 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = CxtRepository::new(0);
+    }
+
+    fn expiring(t: &str, v: f64, at: u64, life: u64) -> CxtItem {
+        item(t, v, at).with_lifetime(simkit::SimDuration::from_secs(life))
+    }
+
+    fn clocked(cap: usize, now: Rc<std::cell::Cell<u64>>) -> CxtRepository {
+        let repo = CxtRepository::new(cap);
+        repo.set_clock(Rc::new(move || SimTime::from_secs(now.get())));
+        repo
+    }
+
+    #[test]
+    fn expired_items_are_never_returned_by_queries() {
+        let now = Rc::new(std::cell::Cell::new(0u64));
+        let repo = clocked(8, now.clone());
+        repo.store_local(expiring("wind", 1.0, 0, 10));
+        repo.store_local(expiring("wind", 2.0, 5, 10));
+        repo.store_local(item("wind", 3.0, 6)); // eternal
+        now.set(8);
+        assert_eq!(repo.recent("wind", 10).len(), 3);
+        now.set(12);
+        // First item (valid through t=10) is out; the rest remain.
+        let live = repo.recent("wind", 10);
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].value.as_f64(), Some(2.0));
+        now.set(20);
+        // Only the eternal item survives; `latest` skips the expired
+        // newer-but-dead entries transparently.
+        assert_eq!(repo.recent("wind", 10).len(), 1);
+        assert_eq!(repo.latest("wind").unwrap().value.as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn latest_skips_expired_head() {
+        let now = Rc::new(std::cell::Cell::new(0u64));
+        let repo = clocked(8, now.clone());
+        repo.store_local(item("t", 1.0, 0)); // eternal, older
+        repo.store_local(expiring("t", 2.0, 1, 3)); // newest, dies at t=4
+        now.set(3);
+        assert_eq!(repo.latest("t").unwrap().value.as_f64(), Some(2.0));
+        now.set(5);
+        assert_eq!(repo.latest("t").unwrap().value.as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn sweep_evicts_deterministically_and_counts() {
+        let repo = CxtRepository::new(8);
+        repo.store_local(expiring("a", 1.0, 0, 5));
+        repo.store_local(expiring("a", 2.0, 0, 50));
+        repo.store_local(expiring("b", 3.0, 0, 5));
+        assert_eq!(repo.len(), 3);
+        assert_eq!(repo.sweep_expired(SimTime::from_secs(10)), 2);
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.expired_evicted(), 2);
+        // Idempotent once clean.
+        assert_eq!(repo.sweep_expired(SimTime::from_secs(10)), 0);
+        assert_eq!(repo.expired_evicted(), 2);
+    }
+
+    #[test]
+    fn without_a_clock_queries_do_not_filter() {
+        let repo = CxtRepository::new(4);
+        repo.store_local(expiring("t", 1.0, 0, 1));
+        // No clock wired: the repository cannot know `now`, so the item
+        // is still visible (storage-only behaviour).
+        assert_eq!(repo.recent("t", 10).len(), 1);
+        assert!(repo.latest("t").is_some());
     }
 }

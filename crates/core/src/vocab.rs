@@ -1,7 +1,95 @@
 //! The three vocabularies exposed to application developers (§4.4):
 //! `CxtVocabulary` (context and metadata types), `QueryVocabulary`
 //! (query clause keywords) and `CxtRulesVocabulary` (control-policy
-//! operators and actions).
+//! operators and actions) — plus the [`Interner`] that maps vocabulary
+//! strings to dense [`Sym`] ids for hot-path matching (ROADMAP item 3;
+//! the brokerd subscription tables shard on these ids).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dense interned symbol for a context type or source name.
+///
+/// Comparing two `Sym`s is a single `u16` compare — the broker hot path
+/// uses this instead of string equality, and subscription tables index
+/// directly by the id.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u16);
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// A small symbol table interning vocabulary strings as [`Sym`] ids.
+///
+/// Interning is `O(log n)` (a `BTreeMap` probe, done once per distinct
+/// string at admission time); every later lookup, comparison and table
+/// index on the hot path is `O(1)` on the dense id. Iteration and id
+/// assignment are insertion-ordered and therefore deterministic for a
+/// deterministic input sequence.
+///
+/// ```
+/// use contory::vocab::Interner;
+///
+/// let mut tab = Interner::new();
+/// let wind = tab.intern("wind");
+/// assert_eq!(tab.intern("wind"), wind);        // stable
+/// assert_eq!(tab.resolve(wind), Some("wind")); // reversible
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    ids: BTreeMap<String, Sym>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its stable id. Ids are assigned densely
+    /// in first-seen order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` distinct names are interned — the
+    /// context-type and source vocabularies are small by design (§4.4),
+    /// so overflow indicates a caller interning unbounded data.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.ids.get(name) {
+            return sym;
+        }
+        let id = self.names.len();
+        assert!(id <= usize::from(u16::MAX), "interner overflow (>65536 symbols)");
+        let sym = Sym(id as u16);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// The id of an already-interned name, if any (no insertion).
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name behind an id.
+    pub fn resolve(&self, sym: Sym) -> Option<&str> {
+        self.names.get(usize::from(sym.0)).map(String::as_str)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
 
 /// Context type names (`CxtVocabulary`). Spatial, temporal, user-status,
 /// environmental and resource categories per §4.1.
@@ -80,5 +168,21 @@ mod tests {
         assert_eq!(operators::NOT_EQUAL, "notEqual");
         assert_eq!(rule_actions::REDUCE_POWER, "reducePower");
         assert_eq!(metadata_keys::ACCURACY, "accuracy");
+    }
+
+    #[test]
+    fn interner_ids_are_dense_stable_and_reversible() {
+        let mut tab = Interner::new();
+        assert!(tab.is_empty());
+        let a = tab.intern("wind");
+        let b = tab.intern("location");
+        assert_eq!(a, Sym(0));
+        assert_eq!(b, Sym(1));
+        assert_eq!(tab.intern("wind"), a);
+        assert_eq!(tab.len(), 2);
+        assert_eq!(tab.resolve(a), Some("wind"));
+        assert_eq!(tab.resolve(Sym(9)), None);
+        assert_eq!(tab.get("location"), Some(b));
+        assert_eq!(tab.get("nope"), None);
     }
 }

@@ -88,10 +88,10 @@ impl Bencher {
         }
         let mut sorted = self.samples.clone();
         sorted.sort();
-        let median = sorted[sorted.len() / 2];
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
         let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
-        let lo = sorted[0];
-        let hi = sorted[sorted.len() - 1];
+        let lo = sorted.first().copied().unwrap_or_default();
+        let hi = sorted.last().copied().unwrap_or_default();
         // lint:allow(no-print-in-lib) the criterion shim reports to stdout by design
         println!(
             "{name:<40} median {median:>12?}  mean {mean:>12?}  range [{lo:?} .. {hi:?}]  ({} samples)",

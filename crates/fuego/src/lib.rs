@@ -20,12 +20,16 @@
 //!   broker — stores context records pushed by phones and answers
 //!   on-demand, periodic and event-based context queries (the paper's
 //!   `extInfra` provisioning).
+//! - [`compat`]: the brokerd bridge — federation context packets rendered
+//!   into the same fixed 1696-byte envelope, so Table 1's wire-size
+//!   accounting survives the brokerd rewiring.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod broker;
 mod client;
+pub mod compat;
 pub mod event;
 mod infra;
 pub mod xml;

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# brokerd subsystem gate: the federated context-broker core proven in
+# all three of its harnesses (DESIGN.md §5h).
+#
+#   ./scripts/broker.sh
+#
+# 1. the brokerd unit suite (admission, sharded tables, federation
+#    plane, wire protocol, classic-sim cell);
+# 2. the loopback TCP smoke test — the same BrokerNode core as a real
+#    multi-threaded service on 127.0.0.1 sockets, logical-clock wire
+#    frames, a packet federating across two live servers;
+# 3. the fleet partition-invariance suite — byte-identical
+#    FleetOutcome reports across engine shard/thread counts and
+#    broker table shard counts, faults included;
+# 4. the kill-over suite — simkit::faults kills the selected broker
+#    mid-run; InfraCxtProvider's cellular leg must reselect and keep
+#    the worst delivery gap inside the Fig. 5 45 s SLO (3 seeds x
+#    {1,4} table shards);
+# 5. the 1696 B envelope golden test — brokerd packets on the Fuego
+#    compat path still cost exactly the paper's measured frame.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> brokerd unit suite"
+cargo test -q --release -p contory-brokerd --lib
+
+echo "==> loopback TCP smoke (real sockets, one broker core)"
+cargo test -q --release -p contory-brokerd --test loopback_smoke
+
+echo "==> fleet partition invariance (shards x threads x table shards)"
+cargo test -q --release -p contory-brokerd --test fleet_determinism
+
+echo "==> broker kill-over vs the 45 s SLO (3 seeds x {1,4} shards)"
+cargo test -q --release -p contory-brokerd --test failover
+
+echo "==> 1696 B envelope golden test (fuego compat path)"
+cargo test -q --release --test broker_envelope
+
+echo "==> broker: OK"

@@ -22,8 +22,13 @@
 #    latency break-up from obskit spans and asserts each phase share
 #    (connection 4-5 %, serialization 26-33 %, thread switching
 #    12-14 %, transfer 51-54 %) within ±3 pp (DESIGN.md §5d);
-# 7. the bench gate: bench_all re-runs the whole §6 suite (now
-#    including scale_city at 100k devices), rewrites results/*.txt +
+# 7. the broker gate: the brokerd subsystem in all three harnesses —
+#    unit suite, loopback TCP smoke, fleet partition invariance, the
+#    45 s kill-over SLO and the 1696 B envelope golden test
+#    (scripts/broker.sh, DESIGN.md §5h);
+# 8. the bench gate: bench_all re-runs the whole §6 suite (now
+#    including scale_city at 100k devices and broker_load at 10k
+#    devices over 4 brokers), rewrites results/*.txt +
 #    BENCH_contory.json, and diffs every pinned metric against the
 #    results/baseline.json tolerance bands (DESIGN.md §5e).
 set -eu
@@ -52,6 +57,9 @@ cargo run -q --release -p contory-bench --bin fig5_failover
 
 echo "==> obs gate (span-measured 6.1 break-up within +/-3pp)"
 cargo run -q --release -p contory-bench --bin sm_breakup
+
+echo "==> broker gate (brokerd in all three harnesses, DESIGN.md 5h)"
+./scripts/broker.sh
 
 echo "==> bench gate (full 6 suite vs results/baseline.json bands)"
 cargo run -q --release -p contory-bench --bin bench_all -- --check

@@ -18,9 +18,9 @@ fn read_repo_file(rel: &str) -> String {
         .unwrap_or_else(|e| panic!("cannot read {} ({e}); run `scripts/bench.sh` to regenerate", path.display()))
 }
 
-/// The eight §6 regenerators plus the partitioned-engine scale scenario,
-/// in the fixed export order `bench_all` uses.
-const SCENARIOS: [&str; 9] = [
+/// The eight §6 regenerators plus the partitioned-engine scale
+/// scenarios, in the fixed export order `bench_all` uses.
+const SCENARIOS: [&str; 10] = [
     "table1_latency",
     "table2_energy",
     "idle_power",
@@ -30,6 +30,7 @@ const SCENARIOS: [&str; 9] = [
     "ablation_discovery_cache",
     "ablation_merging",
     "scale_city",
+    "broker_load",
 ];
 
 #[test]

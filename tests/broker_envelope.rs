@@ -1,0 +1,58 @@
+//! Golden test for the brokerd → Fuego compat path: a real
+//! `brokerd::ContextPacket` rendered through `fuego::compat` must cost
+//! exactly the 1696 bytes the paper measured per event notification, so
+//! Table 1's UMTS latency/energy numbers survive the brokerd rewiring.
+
+use brokerd::{BrokerId, ContextPacket};
+use fuego::compat::{envelope_for_packet, PacketFields, ENVELOPE_BYTES};
+use simkit::{SimDuration, SimTime};
+
+fn frame_size(packet: &ContextPacket, id: u64) -> usize {
+    let hops: Vec<u16> = packet.hops.iter().map(|b| b.0).collect();
+    let fields = PacketFields {
+        type_name: &packet.type_name,
+        value_milli: packet.value_milli,
+        published_at: packet.published_at,
+        expires_at: packet.expires_at,
+        source: &packet.source,
+        hops: &hops,
+    };
+    envelope_for_packet(&fields, id).wire_size()
+}
+
+#[test]
+fn broker_packet_envelope_is_pinned_at_1696_bytes() {
+    assert_eq!(ENVELOPE_BYTES, 1696, "the paper's §6 constant moved");
+
+    // The §6-shaped packet: attributed, lifetime-bound, one federation
+    // hop — exactly what a forwarded brokerd delivery looks like.
+    let packet = ContextPacket::new(
+        "wind",
+        8_500,
+        SimTime::from_secs(120),
+        SimDuration::from_secs(60),
+        "intSensor://nokia6630-352087/wind0",
+    )
+    .with_hop(BrokerId(1));
+    assert_eq!(
+        frame_size(&packet, 42),
+        1696,
+        "brokerd packets no longer fit the paper's measured envelope"
+    );
+
+    // And the frame is constant across realistic packet variation, so
+    // per-notification accounting stays a single constant.
+    for (ty, source) in [
+        ("temperature", "extSensor://weatherstation-kumpula/t9"),
+        ("nearbyDevices", "btScan://nokia6630-352087"),
+    ] {
+        let p = ContextPacket::new(
+            ty,
+            -12_345,
+            SimTime::from_millis(1_123_851_807),
+            SimDuration::from_secs(300),
+            source,
+        );
+        assert_eq!(frame_size(&p, 7), 1696, "{ty} envelope drifted");
+    }
+}
