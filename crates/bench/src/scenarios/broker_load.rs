@@ -27,8 +27,9 @@
 //! gap and `sym_compare_not_slower` asserts its direction.
 
 use benchkit::{Measurement, RunCtx, Scenario, Unit};
-use brokerd::{fault_edges, run_fleet, FleetConfig, NodeConfig};
+use brokerd::{fault_edges, run_fleet, run_fleet_profiled, FleetConfig, NodeConfig};
 use contory::vocab::Interner;
+use tracekit::{assemble, Breakup, Stage};
 use simkit::faults::FaultPlan;
 use simkit::shard::ShardConfig;
 use simkit::{SimDuration, SimTime};
@@ -174,12 +175,20 @@ impl Scenario for BrokerLoad {
 
     fn run(&self, ctx: &mut RunCtx) {
         let cfg = big_fleet(self.seed(), shards(), ShardConfig::max_threads());
-        let (out, wall) = criterion::time_once(|| run_fleet(&cfg));
+        let ((out, profile), wall) = criterion::time_once(|| run_fleet_profiled(&cfg));
         let horizon = FLEET_HORIZON_SECS as f64;
         ctx.tally_events(out.events, SimTime::from_secs(FLEET_HORIZON_SECS));
         obskit::count("broker_load_published", out.published);
         obskit::count("broker_load_delivered", out.delivered);
         obskit::count("broker_load_shed", out.shed);
+        obskit::count("broker_load_forwarded", out.forwarded);
+        obskit::count("broker_load_rehomes", out.rehomes);
+        obskit::count("broker_load_unattributed", out.unattributed);
+        obskit::count("broker_load_gossip_sent", out.gossip_sent);
+        obskit::count("broker_load_gossip_heard", out.gossip_heard);
+        obskit::count("broker_load_trace_spans", out.trace_spans);
+        obskit::gauge("broker_load_queue_peak_max", profile.max_queue_peak() as f64);
+        obskit::gauge("broker_load_merge_rounds", profile.rounds as f64);
 
         ctx.note(format!(
             "{FLEET_DEVICES} devices on {FLEET_BROKERS} brokers, horizon {horizon} sim-s, \
@@ -296,6 +305,16 @@ impl Scenario for BrokerLoad {
         );
         ctx.push(
             Measurement::scalar(
+                "gossip_sent",
+                "load digests gossiped to federation peers",
+                Unit::Count,
+                out.gossip_sent as f64,
+            )
+            .with_gate_rel_tol(0.0)
+            .with_gate_abs_tol(0.4),
+        );
+        ctx.push(
+            Measurement::scalar(
                 "report_digest32",
                 "fleet report digest (low 32 bits)",
                 Unit::Count,
@@ -305,6 +324,88 @@ impl Scenario for BrokerLoad {
             .with_gate_abs_tol(0.4)
             .with_note("byte-identity witness across shard/thread/table-shard counts"),
         );
+
+        // Trace-measured broker delivery break-up: the sampled trace
+        // stream of the big run, assembled into trees and decomposed
+        // along every delivery critical path. Pure functions of the
+        // seed — the trace log is partition-invariant — so the rows pin
+        // near-exactly like the counters above.
+        let breakup = Breakup::of(&assemble(&out.trace));
+        ctx.push(
+            Measurement::scalar(
+                "trace_spans",
+                "hop spans recorded by the sampled traces",
+                Unit::Count,
+                out.trace_spans as f64,
+            )
+            .with_gate_rel_tol(0.0)
+            .with_gate_abs_tol(0.4)
+            .with_note("1-in-8 publish sampling; shard/thread-invariant"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "traced_deliveries",
+                "end-to-end deliveries observed on sampled traces",
+                Unit::Count,
+                breakup.deliveries() as f64,
+            )
+            .with_gate_rel_tol(0.0)
+            .with_gate_abs_tol(0.4),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "trace_e2e_p50_ms",
+                "median traced publish-to-delivery latency",
+                Unit::Millis,
+                breakup.latency_quantile_us(0.50) as f64 / 1_000.0,
+            )
+            .with_gate_rel_tol(0.0)
+            .with_gate_abs_tol(0.4),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "trace_e2e_p99_ms",
+                "p99 traced publish-to-delivery latency",
+                Unit::Millis,
+                breakup.latency_quantile_us(0.99) as f64 / 1_000.0,
+            )
+            .with_gate_rel_tol(0.0)
+            .with_gate_abs_tol(0.4),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "trace_dispatch_share_pm",
+                "dispatch (queue wait) share of traced path time, per mille",
+                Unit::Count,
+                breakup.share_pm(Stage::Dispatch) as f64,
+            )
+            .with_gate_rel_tol(0.0)
+            .with_gate_abs_tol(0.4)
+            .with_note("the backpressure term of the latency break-up"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "trace_deliver_share_pm",
+                "deliver (fan-out link) share of traced path time, per mille",
+                Unit::Count,
+                breakup.share_pm(Stage::Deliver) as f64,
+            )
+            .with_gate_rel_tol(0.0)
+            .with_gate_abs_tol(0.4),
+        );
+        ctx.check_true(
+            "traces_were_sampled",
+            "the sampled trace stream observed at least one delivery",
+            breakup.deliveries() > 0,
+        );
+        ctx.check_true(
+            "trace_quantiles_ordered",
+            "traced p99 latency >= traced p50 latency",
+            breakup.latency_quantile_us(0.99) >= breakup.latency_quantile_us(0.50),
+        );
+        ctx.artifact("trace latency break-up (critical paths)", breakup.table());
+        ctx.artifact("trace break-up JSON", breakup.to_json());
+        ctx.artifact("engine profile (per-shard)", profile.table());
         ctx.check_true(
             "deliveries_happened",
             "the fleet delivered context end to end",
@@ -393,6 +494,57 @@ impl Scenario for BrokerLoad {
             "interned compare is at least as fast as string compare",
             sym_s <= str_s,
         );
+
+        // Tracing overhead: the same small fleet twice — every publish
+        // sampled vs effectively none (1 in 2^60). Tracing is pure
+        // observation, so the engine outputs must be byte-identical;
+        // only the wall clock may move, and not by much.
+        let mut traced_cfg = big_fleet(self.seed() ^ 0x7ace, 4, ShardConfig::max_threads());
+        traced_cfg.devices = 1_000;
+        traced_cfg.run_for = SimDuration::from_secs(10);
+        traced_cfg.node.trace_sample_log2 = 0;
+        let mut untraced_cfg = traced_cfg.clone();
+        untraced_cfg.node.trace_sample_log2 = 60;
+        let (traced, traced_wall) = criterion::time_once(|| run_fleet(&traced_cfg));
+        let (untraced, untraced_wall) = criterion::time_once(|| run_fleet(&untraced_cfg));
+        let traced_s = traced_wall.as_secs_f64().max(1e-9);
+        let untraced_s = untraced_wall.as_secs_f64().max(1e-9);
+        ctx.push(
+            Measurement::scalar(
+                "trace_overhead_ratio",
+                "traced wall time over untraced wall time (full sampling)",
+                Unit::Ratio,
+                traced_s / untraced_s,
+            )
+            .with_gate_rel_tol(2.0)
+            .with_gate_abs_tol(2.0)
+            .with_note("host-dependent; band trips if tracing becomes a multiple of the run"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "trace_spans_per_kevent",
+                "hop spans per 1000 engine events at full sampling",
+                Unit::Count,
+                (traced.trace_spans * 1_000 / traced.events.max(1)) as f64,
+            )
+            .with_gate_rel_tol(0.0)
+            .with_gate_abs_tol(0.4)
+            .with_note("the deterministic cost model of the tracing plane"),
+        );
+        ctx.check_true(
+            "tracing_is_pure_observation",
+            "full sampling vs none: identical engine digest and counters",
+            traced.digest == untraced.digest
+                && traced.delivered == untraced.delivered
+                && traced.published == untraced.published
+                && traced.shed == untraced.shed,
+        );
+        ctx.check_true(
+            "sampling_bounds_span_volume",
+            "full sampling records more spans than 1-in-2^60 sampling",
+            traced.trace_spans > untraced.trace_spans,
+        );
+        ctx.tally_events(traced.events + untraced.events, SimTime::from_secs(2 * 10));
 
         // Partition-invariance cross-check on a small fleet, faults
         // included: 1 shard x 1 thread x 1 table shard must equal

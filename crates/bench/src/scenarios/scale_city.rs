@@ -24,6 +24,7 @@
 //! produce bit-identical outcomes.
 
 use benchkit::{Measurement, RunCtx, Scenario, Unit};
+use simkit::shard::EngineProfile;
 use simkit::{ActorId, EventCtx, ShardConfig, ShardSim, SimDuration, SimTime};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -135,6 +136,14 @@ fn on_event(dev: &mut Device, ctx: &mut EventCtx<'_, Ev>, ev: Ev, devices: u64) 
 /// test can replay small cities across shard/thread matrices and compare
 /// outcomes bit-for-bit.
 pub fn run_city(cfg: CityConfig) -> CityOutcome {
+    run_city_profiled(cfg).0
+}
+
+/// [`run_city`] plus the engine's execution profile (per-shard event
+/// counts, queue peaks, merge-barrier imbalance). The outcome is
+/// partition-invariant; the profile describes the partition layout and
+/// therefore is not.
+pub fn run_city_profiled(cfg: CityConfig) -> (CityOutcome, EngineProfile) {
     assert!(cfg.devices >= 2, "gossip needs at least two devices");
     let devices = cfg.devices;
     let mut sim = ShardSim::new(
@@ -174,12 +183,13 @@ pub fn run_city(cfg: CityConfig) -> CityOutcome {
             checksum = mix(checksum ^ dev.acc ^ (dev.ticks << 17) ^ dev.received);
         }
     }
-    CityOutcome {
+    let out = CityOutcome {
         events: sim.events_processed(),
         delivered: sim.messages_delivered(),
         dead_letters: sim.dead_letters(),
         checksum,
-    }
+    };
+    (out, sim.profile().clone())
 }
 
 /// The 100k-device partitioned-engine scale scenario.
@@ -213,11 +223,16 @@ impl Scenario for ScaleCity {
             seed: self.seed(),
             horizon: SimDuration::from_secs(CITY_HORIZON_SECS),
         };
-        let (out, wall) = criterion::time_once(|| run_city(cfg));
+        let ((out, profile), wall) = criterion::time_once(|| run_city_profiled(cfg));
         let horizon = CITY_HORIZON_SECS as f64;
         ctx.tally_events(out.events, SimTime::from_secs(CITY_HORIZON_SECS));
         obskit::count("scale_city_events", out.events);
         obskit::count("scale_city_delivered", out.delivered);
+        obskit::gauge("scale_city_queue_peak_max", profile.max_queue_peak() as f64);
+        obskit::gauge("scale_city_merge_rounds", profile.rounds as f64);
+        for (shard, events) in profile.events_per_shard.iter().enumerate() {
+            obskit::gauge(&format!("scale_city_shard{shard}_events"), *events as f64);
+        }
 
         ctx.note(format!(
             "population {CITY_DEVICES}, horizon {horizon} sim-s, {} shards x {} threads \
@@ -313,6 +328,61 @@ impl Scenario for ScaleCity {
             .with_gate_abs_tol(1e7)
             .with_note("host-dependent; wide band"),
         );
+
+        // Engine-profile rows: deterministic for a fixed partition, but
+        // they describe the partition layout itself (`--shards N` moves
+        // them), so they wear wall-style wide bands.
+        let shard_n = profile.events_per_shard.len().max(1) as f64;
+        ctx.push(
+            Measurement::scalar(
+                "merge_rounds",
+                "engine merge-barrier rounds",
+                Unit::Count,
+                profile.rounds as f64,
+            )
+            .with_gate_rel_tol(9.0)
+            .with_gate_abs_tol(1000.0)
+            .with_note("partition-dependent; wide band"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "events_per_shard_mean",
+                "events executed per shard (mean)",
+                Unit::Count,
+                profile.total_events() as f64 / shard_n,
+            )
+            .with_gate_rel_tol(9.0)
+            .with_gate_abs_tol(1e6)
+            .with_note("partition-dependent; wide band"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "queue_peak_max",
+                "worst per-shard ready-queue depth",
+                Unit::Count,
+                profile.max_queue_peak() as f64,
+            )
+            .with_gate_rel_tol(9.0)
+            .with_gate_abs_tol(1e6)
+            .with_note("partition-dependent; wide band"),
+        );
+        ctx.push(
+            Measurement::scalar(
+                "barrier_imbalance_mean",
+                "mean per-round max-min shard batch gap",
+                Unit::Count,
+                profile.barrier_imbalance.mean() as f64,
+            )
+            .with_gate_rel_tol(9.0)
+            .with_gate_abs_tol(1e5)
+            .with_note("partition-dependent; wide band"),
+        );
+        ctx.check_true(
+            "profile_accounts_all_events",
+            "per-shard profile counts sum to the engine event total",
+            profile.total_events() == out.events,
+        );
+        ctx.artifact("engine profile (per-shard)", profile.table());
 
         // Partition-invariance cross-check on a small city: sequential
         // 1x1 vs 16 shards on all cores must agree bit-for-bit.

@@ -39,6 +39,36 @@ use simkit::{Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::{Rc, Weak};
+use tracekit::{Stage, TraceCtx, TraceLog};
+
+/// The cell's id in the tracekit node namespace — distinct from every
+/// `BrokerId` (brokers are `u16`, so they can never reach this value).
+const CELL_TRACE_NODE: u64 = 0xCE11;
+
+/// Root-id material salt for cell-side publishes, keeping their trace
+/// ids disjoint from fleet-device and gossip roots.
+const CELL_TRACE_SALT: u64 = 0x0ce1_1b0c_5eed_0001;
+
+/// Mirrors a cell-side hop onto the obskit collector with the same
+/// label markers `BrokerNode` emits, so `TraceLog::from_obskit_jsonl`
+/// lifts cell publishes alongside broker hops.
+fn obs_cell_hop(ctx: TraceCtx, stage: Stage, span: u32, now: SimTime) {
+    if span == 0 || !obskit::enabled() {
+        return;
+    }
+    let phase = match stage {
+        Stage::Deliver => obskit::Phase::Deliver,
+        _ => obskit::Phase::Dispatch,
+    };
+    let label = format!(
+        "hop t={:016x} s={} n={CELL_TRACE_NODE} h={} sp={span} p={}",
+        ctx.trace_id,
+        stage.as_str(),
+        ctx.hop,
+        ctx.parent_span,
+    );
+    obskit::event(phase, &label, None, now);
+}
 
 /// Tunables of the federated cell reference.
 #[derive(Clone, Debug)]
@@ -88,6 +118,10 @@ struct Inner {
     subs: BTreeMap<u64, SubEntry>,
     next_handle: u64,
     reselects: u64,
+    /// Cell-side spans: the publish hop of every traced `store`.
+    trace: TraceLog,
+    /// Monotone publish sequence — the deterministic trace-id material.
+    published: u64,
 }
 
 impl Inner {
@@ -200,6 +234,9 @@ impl Inner {
                 .values()
                 .find(|e| e.attached == Some((broker, sub)));
             if let Some(entry) = hit {
+                if let Some(slot) = self.brokers.get_mut(&broker) {
+                    slot.node.note_delivery(packet.trace, now);
+                }
                 callbacks.push((entry.on_items.clone(), vec![packet.to_cxt_item()]));
             }
         }
@@ -227,6 +264,8 @@ impl FederatedCell {
             subs: BTreeMap::new(),
             next_handle: 1,
             reselects: 0,
+            trace: TraceLog::new(),
+            published: 0,
         }));
         // The pump holds only a weak handle: when the last strong clone
         // of the cell drops, the repeating timer unregisters itself.
@@ -286,6 +325,24 @@ impl FederatedCell {
     pub fn broker_stats(&self, id: BrokerId) -> Option<crate::node::NodeStats> {
         self.inner.borrow().brokers.get(&id).map(|s| *s.node.stats())
     }
+
+    /// Merged trace log: the cell's publish spans plus every broker's
+    /// hop spans, folded in broker-id order. Canonical export (and thus
+    /// the digest) is merge-order invariant.
+    pub fn trace_log(&self) -> TraceLog {
+        let inner = self.inner.borrow();
+        let mut log = inner.trace.clone();
+        for slot in inner.brokers.values() {
+            log.merge(slot.node.trace_log());
+        }
+        log
+    }
+
+    /// Metrics snapshot of one broker — the same registry the TCP
+    /// harness serves for `STATS`.
+    pub fn broker_telemetry(&self, id: BrokerId) -> Option<obskit::Registry> {
+        self.inner.borrow().brokers.get(&id).map(|s| s.node.telemetry())
+    }
 }
 
 impl CellReference for FederatedCell {
@@ -305,11 +362,19 @@ impl CellReference for FederatedCell {
                     return Err(RefError::Denied("source refused by access control".into()));
                 }
             }
-            let packet = ContextPacket::from_cxt_item(item)
+            let mut packet = ContextPacket::from_cxt_item(item)
                 .map_err(|e| RefError::Denied(e.to_string()))?;
             let sel = inner
                 .ensure_selection(now)
                 .ok_or_else(|| RefError::Unavailable("no live broker".into()))?;
+            let seq = inner.published;
+            inner.published += 1;
+            let root = TraceCtx::root(CELL_TRACE_SALT ^ seq, inner.cfg.node.trace_sample_log2);
+            let span = inner.trace.record(root, Stage::Publish, CELL_TRACE_NODE, now);
+            if span != 0 {
+                packet = packet.with_trace(root.child(span));
+                obs_cell_hop(root, Stage::Publish, span, now);
+            }
             let slot = inner
                 .brokers
                 .get_mut(&sel)
@@ -477,6 +542,35 @@ mod tests {
         cell.store(&item("noise", 3.0, sim.now()), Box::new(|_| {}));
         sim.run_for(SimDuration::from_secs(5));
         assert_eq!(got.borrow().len(), 1);
+    }
+
+    #[test]
+    fn stores_are_traced_end_to_end() {
+        let sim = Sim::new();
+        let mut cfg = CellConfig::default();
+        cfg.node.trace_sample_log2 = 0; // sample every publish
+        let cell = FederatedCell::new(&sim, cfg);
+        cell.add_broker(BrokerId(0), 5_000);
+        cell.add_broker(BrokerId(1), 6_000);
+        cell.subscribe(
+            &InfraSpec {
+                cxt_type: "wind".into(),
+                ..InfraSpec::default()
+            },
+            InfraPushMode::OnArrival,
+            Rc::new(|_| {}),
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        cell.store(&item("wind", 7.5, sim.now()), Box::new(|_| {}));
+        sim.run_for(SimDuration::from_secs(5));
+        let log = cell.trace_log();
+        assert!(log.len() > 0, "traced store left no spans");
+        let trees = tracekit::assemble(&log);
+        let breakup = tracekit::Breakup::of(&trees);
+        assert_eq!(breakup.deliveries(), 1);
+        // The STATS registry the ops surface serves sees the admit.
+        let stats = cell.broker_telemetry(BrokerId(0)).unwrap().snapshot();
+        assert!(stats.contains("broker_admitted_total 1"), "{stats}");
     }
 
     #[test]

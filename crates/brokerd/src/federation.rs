@@ -21,6 +21,7 @@
 use crate::packet::BrokerId;
 use simkit::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use tracekit::TraceCtx;
 
 /// Weight of one queued packet relative to one microsecond of latency in
 /// the QoS score. 500 ⇒ a backlog of 100 packets outweighs 50 ms of
@@ -41,6 +42,9 @@ pub struct LoadDigest {
     pub subscriptions: u64,
     /// When the digest was produced.
     pub at: SimTime,
+    /// Gossip-plane trace context (minted per digest by the emitting
+    /// broker; [`TraceCtx::NONE`] for hand-built digests).
+    pub trace: TraceCtx,
 }
 
 /// What a peer looks like from here.
@@ -89,6 +93,7 @@ impl PeerView {
     /// Folds a heard digest into the view (unknown senders are adopted
     /// with zero link latency).
     pub fn absorb(&mut self, digest: &LoadDigest, heard_at: SimTime) {
+        obskit::count("broker_gossip_absorbed", 1);
         let stat = self.peers.entry(digest.broker).or_insert(PeerStat {
             latency_us: 0,
             queue_depth: 0,
@@ -166,6 +171,7 @@ mod tests {
             queue_depth: depth,
             subscriptions: 0,
             at: SimTime::from_secs(at),
+            trace: TraceCtx::NONE,
         }
     }
 

@@ -21,8 +21,9 @@ use crate::packet::{BrokerId, ContextPacket};
 use crate::table::SubMode;
 use obskit::Histogram;
 use simkit::faults::FaultPlan;
-use simkit::shard::{ActorId, EventCtx, ShardConfig, ShardSim};
+use simkit::shard::{ActorId, EngineProfile, EventCtx, ShardConfig, ShardSim};
 use simkit::{SimDuration, SimTime};
+use tracekit::{Stage, TraceCtx, TraceLog};
 
 /// Number of distinct context types the fleet publishes.
 pub const FLEET_TYPES: u16 = 64;
@@ -150,6 +151,10 @@ struct DeviceState {
     awaiting_ack: bool,
     rehomes: u64,
     fanout_us: Histogram,
+    /// Device-side hop spans (publish roots, delivery terminals).
+    /// Plain `Send` data: shard workers record locally, the fold below
+    /// merges in actor order.
+    trace: TraceLog,
 }
 
 /// Fleet actor: broker or device.
@@ -173,6 +178,10 @@ pub struct FleetOutcome {
     pub forwarded: u64,
     /// Forwards suppressed by the loop guard.
     pub loops_dropped: u64,
+    /// Load digests gossiped out to federation peers.
+    pub gossip_sent: u64,
+    /// Load digests heard from federation peers.
+    pub gossip_heard: u64,
     /// Publishes refused for missing attribution.
     pub unattributed: u64,
     /// Subscriptions expired by sweeps.
@@ -191,6 +200,13 @@ pub struct FleetOutcome {
     pub messages: u64,
     /// Engine transcript digest.
     pub digest: u64,
+    /// Hop spans recorded across all actors (sampled traces only).
+    pub trace_spans: u64,
+    /// FNV digest of the canonical trace JSONL export.
+    pub trace_digest: u64,
+    /// The folded trace log itself (brokers then devices, actor-id
+    /// order), ready for [`tracekit::assemble`]/[`tracekit::Breakup`].
+    pub trace: TraceLog,
 }
 
 impl FleetOutcome {
@@ -207,14 +223,18 @@ impl FleetOutcome {
     pub fn report(&self) -> String {
         format!(
             "published={} acked={} shed={} delivered={} forwarded={} loops={} \
+             gossip_sent={} gossip_heard={} \
              unattributed={} subs_expired={} packets_expired={} rehomes={} \
-             p50_us={} p99_us={} shed_ppm={} events={} messages={} digest={:016x}",
+             p50_us={} p99_us={} shed_ppm={} events={} messages={} digest={:016x} \
+             trace_spans={} trace_digest={:016x}",
             self.published,
             self.acked,
             self.shed,
             self.delivered,
             self.forwarded,
             self.loops_dropped,
+            self.gossip_sent,
+            self.gossip_heard,
             self.unattributed,
             self.subs_expired,
             self.packets_expired,
@@ -225,6 +245,8 @@ impl FleetOutcome {
             self.events,
             self.messages,
             self.digest,
+            self.trace_spans,
+            self.trace_digest,
         )
     }
 }
@@ -239,8 +261,18 @@ fn broker_actor(b: u16) -> ActorId {
 
 /// Runs one fleet scenario to completion.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
+    run_fleet_profiled(cfg).0
+}
+
+/// Runs one fleet scenario and also returns the engine's self-profile
+/// (per-shard event counts, queue peaks, merge-barrier imbalance).
+/// The profile describes the physical layout and is deliberately kept
+/// **outside** the equality-compared [`FleetOutcome`].
+pub fn run_fleet_profiled(cfg: &FleetConfig) -> (FleetOutcome, EngineProfile) {
     let brokers = cfg.brokers.max(1);
     let node_cfg = cfg.node.clone();
+    let seed = cfg.seed;
+    let trace_rate = cfg.node.trace_sample_log2;
     let publish_period = cfg.publish_period;
     let lifetime = cfg.lifetime;
     let drain_every = cfg.drain_every;
@@ -389,6 +421,17 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
                         source,
                     );
                     packet.value_milli += (ctx.rng().next_u64() % 1000) as i64;
+                    // Root the trace from pure (seed, actor, seq)
+                    // material — sampling is a function of the id, so
+                    // the sampled set is partition-independent.
+                    let root = TraceCtx::root(
+                        seed ^ (ctx.actor().0 << 20) ^ dev.published,
+                        trace_rate,
+                    );
+                    let span = dev.trace.record(root, Stage::Publish, ctx.actor().0, ctx.now());
+                    if span != 0 {
+                        packet.trace = root.child(span);
+                    }
                     ctx.send(
                         broker_actor(dev.home),
                         SimDuration::from_millis(2),
@@ -413,6 +456,8 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
                     dev.received += 1;
                     let latency = ctx.now().since(packet.published_at);
                     dev.fanout_us.record(latency.as_micros());
+                    dev.trace
+                        .record(packet.trace, Stage::Deliver, ctx.actor().0, ctx.now());
                 }
                 _ => {}
             },
@@ -461,6 +506,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
             awaiting_ack: false,
             rehomes: 0,
             fanout_us: Histogram::new(),
+            trace: TraceLog::new(),
         };
         sim.add_actor(id, FleetActor::Device(Box::new(dev)));
     }
@@ -497,8 +543,11 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
             out.unattributed += s.admission.unattributed;
             out.forwarded += s.forwarded;
             out.loops_dropped += s.loops_dropped;
+            out.gossip_sent += s.gossip_sent;
+            out.gossip_heard += s.gossip_heard;
             out.subs_expired += s.subs_expired;
             out.packets_expired += s.packets_expired;
+            out.trace.merge(node.trace_log());
         }
     }
     for d in 0..cfg.devices {
@@ -509,6 +558,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
             out.delivered += dev.received;
             out.rehomes += dev.rehomes;
             fanout.merge(&dev.fanout_us);
+            out.trace.merge(&dev.trace);
         }
     }
     out.p50_fanout_us = fanout.quantile(0.50);
@@ -516,7 +566,11 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
     out.events = sim.events_processed();
     out.messages = sim.messages_delivered();
     out.digest = sim.digest();
-    out
+    out.trace_spans = out.trace.len() as u64;
+    // The digest hashes the *canonical* export, so it is invariant to
+    // the fold order above and comparable across partition layouts.
+    out.trace_digest = out.trace.digest();
+    (out, sim.profile().clone())
 }
 
 #[cfg(test)]
@@ -550,9 +604,27 @@ mod tests {
     fn report_is_identical_across_partitions() {
         let reference = run_fleet(&small(11, 1, 1)).report();
         for (shards, threads) in [(2, 1), (4, 2), (8, 4)] {
-            let got = run_fleet(&small(11, shards, threads)).report();
-            assert_eq!(got, reference, "diverged at shards={shards} threads={threads}");
+            let (out, profile) = run_fleet_profiled(&small(11, shards, threads));
+            assert_eq!(out.report(), reference, "diverged at shards={shards} threads={threads}");
+            // The profile sees the layout; the outcome must not.
+            assert_eq!(profile.events_per_shard.len(), shards as usize);
+            assert_eq!(profile.total_events(), out.events);
         }
+    }
+
+    #[test]
+    fn fleet_traces_assemble_into_deliveries() {
+        let mut cfg = small(7, 1, 1);
+        cfg.node.trace_sample_log2 = 0; // sample every trace
+        let out = run_fleet(&cfg);
+        assert!(out.trace_spans > 0, "no spans recorded");
+        assert_eq!(out.trace_digest, out.trace.digest());
+        let trees = tracekit::assemble(&out.trace);
+        let breakup = tracekit::Breakup::of(&trees);
+        assert!(breakup.deliveries() > 0, "no traced delivery paths");
+        // Sampled-down runs record strictly fewer spans.
+        let sampled = run_fleet(&small(7, 1, 1));
+        assert!(sampled.trace_spans < out.trace_spans);
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub mod wire;
 pub use admission::{AdmissionStats, BrokerError};
 pub use cell::FederatedCell;
 pub use federation::{qos_score, LoadDigest, PeerStat, PeerView};
-pub use fleet::{fault_edges, run_fleet, FleetConfig, FleetEvent, FleetOutcome};
+pub use fleet::{fault_edges, run_fleet, run_fleet_profiled, FleetConfig, FleetEvent, FleetOutcome};
 pub use node::{BrokerNode, Effect, NodeConfig, NodeStats};
 pub use packet::{BrokerId, ContextPacket, PacketError, MAX_HOPS};
 pub use table::{SubId, SubMode, Subscription, SubscriptionTable, SweepStats};
-pub use wire::{Request, Response, WireError};
+pub use wire::{pct_decode, pct_encode, Request, Response, WireError, MAX_FRAME_BYTES};

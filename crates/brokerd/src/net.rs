@@ -19,10 +19,10 @@
 use crate::node::{BrokerNode, Effect, NodeConfig};
 use crate::packet::{BrokerId, ContextPacket};
 use crate::table::SubId;
-use crate::wire::{Request, Response};
+use crate::wire::{Request, Response, WireError, MAX_FRAME_BYTES};
 use simkit::SimTime;
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -31,6 +31,10 @@ use std::thread::JoinHandle;
 
 /// The pseudo-subscription id `FETCH` results are delivered under.
 pub const FETCH_SUB: SubId = SubId(u64::MAX);
+
+/// Most trace summaries one `TRACE` response will carry, regardless of
+/// the requested limit (keeps the response inside one frame).
+pub const TRACE_LIMIT_MAX: u64 = 32;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -174,6 +178,7 @@ fn pump(shared: &Arc<Shared>, now: SimTime) {
                     sub,
                     packet,
                 } => {
+                    lock(&shared.node).note_delivery(packet.trace, now);
                     let line = Response::Evt { sub, packet }.encode();
                     if let Ok(line) = line {
                         let sessions = lock(&shared.sessions);
@@ -239,6 +244,21 @@ fn handle_request(shared: &Arc<Shared>, session: u64, req: Request) -> Response 
                 },
             }
         }
+        Request::Stats { now } => {
+            shared.advance(now);
+            Response::Stats(lock(&shared.node).telemetry().snapshot())
+        }
+        Request::Trace { limit, now } => {
+            shared.advance(now);
+            // Bound the response to what fits one frame comfortably.
+            let limit = limit.min(TRACE_LIMIT_MAX) as usize;
+            let node = lock(&shared.node);
+            let lines = tracekit::summaries(node.trace_log(), limit)
+                .iter()
+                .map(tracekit::TraceSummary::line)
+                .collect();
+            Response::Trace(lines)
+        }
     };
     // Every request may have unblocked work (admissions, due periodics,
     // sweeps ride the same logical clock).
@@ -260,6 +280,54 @@ fn error_code(e: &crate::admission::BrokerError) -> &'static str {
     }
 }
 
+/// Outcome of reading one frame off the socket.
+enum FrameRead {
+    /// A complete line within the frame cap (newline stripped).
+    Line(String),
+    /// The line exceeded [`MAX_FRAME_BYTES`]; it was drained off the
+    /// socket so the session can continue, but never buffered whole.
+    Oversized {
+        /// Bytes observed before the line ended.
+        len: usize,
+    },
+    /// The peer disconnected.
+    Eof,
+}
+
+/// Reads one newline-terminated frame with a hard byte cap: a hostile
+/// client sending an endless line costs at most one cap-sized buffer,
+/// not unbounded memory.
+fn read_frame(reader: &mut BufReader<TcpStream>) -> FrameRead {
+    let cap = (MAX_FRAME_BYTES + 2) as u64;
+    let mut line = String::new();
+    let mut total = 0usize;
+    let mut oversized = false;
+    loop {
+        line.clear();
+        let n = match reader.by_ref().take(cap).read_line(&mut line) {
+            Ok(0) => return FrameRead::Eof,
+            Ok(n) => n,
+            Err(_) => return FrameRead::Eof,
+        };
+        total += n;
+        let complete = line.ends_with('\n');
+        if complete || n < cap as usize {
+            // Newline found, or true EOF mid-line (read_line only stops
+            // short of the cap at a newline or EOF).
+            return if oversized {
+                FrameRead::Oversized { len: total }
+            } else {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                FrameRead::Line(std::mem::take(&mut line))
+            };
+        }
+        // Cap hit mid-line: remember, and keep draining to the newline.
+        oversized = true;
+    }
+}
+
 fn serve_session(shared: &Arc<Shared>, stream: TcpStream, session: u64) {
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -276,17 +344,34 @@ fn serve_session(shared: &Arc<Shared>, stream: TcpStream, session: u64) {
         }
     });
 
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_frame(&mut reader) {
+            FrameRead::Eof => break,
+            FrameRead::Oversized { len } => {
+                let e = WireError::Oversized { len };
+                let refusal = Response::Err {
+                    code: e.code().into(),
+                    detail: e.to_string(),
+                };
+                let sent = refusal
+                    .encode()
+                    .is_ok_and(|encoded| tx.send(encoded).is_ok());
+                if sent {
+                    continue;
+                }
+                break;
+            }
+            FrameRead::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
         let response = match Request::decode(&line) {
             Ok(req) => handle_request(shared, session, req),
             Err(e) => Response::Err {
-                code: "bad_frame".into(),
-                detail: e.0,
+                code: e.code().into(),
+                detail: e.to_string(),
             },
         };
         if let Ok(encoded) = response.encode() {
@@ -364,6 +449,66 @@ mod tests {
             }
             other => panic!("expected delivery, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_and_trace_ops_requests_answer_over_the_socket() {
+        let server = BrokerServer::spawn(BrokerId(7), NodeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr());
+        c.send(&Request::Sub {
+            type_name: "wind".into(),
+            mode: SubMode::Event,
+            expires_at: secs(1_000),
+            now: secs(1),
+        });
+        assert_eq!(c.recv(), Response::Ok("sub0".into()));
+        // A traced publish: sampled root, rate 0 ⇒ always sampled.
+        c.send(&Request::Pub(
+            ContextPacket::new("wind", 7_000, secs(2), SimDuration::from_secs(60), "buoy-1")
+                .with_trace(tracekit::TraceCtx::root(0xfeed, 0)),
+        ));
+        // The delivery is pumped inside the request, so the EVT frame
+        // reaches the (self-subscribed) session before the OK.
+        assert!(matches!(c.recv(), Response::Evt { .. }));
+        assert_eq!(c.recv(), Response::Ok("pub".into()));
+
+        c.send(&Request::Stats { now: secs(3) });
+        match c.recv() {
+            Response::Stats(text) => {
+                assert!(text.contains("broker_admitted_total 1"), "stats:\n{text}");
+                assert!(text.contains("broker_delivered_total 1"), "stats:\n{text}");
+                assert!(text.contains("broker_live_subscriptions 1"), "stats:\n{text}");
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+
+        c.send(&Request::Trace {
+            limit: 8,
+            now: secs(3),
+        });
+        match c.recv() {
+            Response::Trace(lines) => {
+                assert_eq!(lines.len(), 1, "lines: {lines:?}");
+                assert!(lines[0].contains("deliveries=1"), "line: {}", lines[0]);
+            }
+            other => panic!("expected TRACE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_lines_are_refused_without_killing_the_session() {
+        let server = BrokerServer::spawn(BrokerId(8), NodeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr());
+        let garbage = "G".repeat(MAX_FRAME_BYTES * 3);
+        c.stream.write_all(garbage.as_bytes()).unwrap();
+        c.stream.write_all(b"\n").unwrap();
+        match c.recv() {
+            Response::Err { code, .. } => assert_eq!(code, "oversized"),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        // The session survives and keeps serving well-formed frames.
+        c.send(&Request::Ping(secs(5)));
+        assert_eq!(c.recv(), Response::Pong(secs(5)));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::table::{SubId, SubMode, SubscriptionTable, SweepStats};
 use contory::vocab::{Interner, Sym};
 use simkit::SimTime;
 use std::collections::{BTreeSet, VecDeque};
+use tracekit::{Stage, TraceCtx, TraceLog};
 
 /// Broker tunables.
 #[derive(Clone, Debug)]
@@ -38,6 +39,9 @@ pub struct NodeConfig {
     /// Packets processed per [`BrokerNode::drain`] call (the service
     /// rate of the queueing model).
     pub drain_budget: usize,
+    /// Gossip-plane trace sampling: one digest trace in
+    /// `2^trace_sample_log2` is sampled (`0` ⇒ every digest).
+    pub trace_sample_log2: u32,
 }
 
 impl Default for NodeConfig {
@@ -46,6 +50,7 @@ impl Default for NodeConfig {
             table_shards: 4,
             inbox_capacity: 64,
             drain_budget: 16,
+            trace_sample_log2: 3,
         }
     }
 }
@@ -86,6 +91,10 @@ pub struct NodeStats {
     pub subs_expired: u64,
     /// Retained packets expired by sweeps.
     pub packets_expired: u64,
+    /// Gossip digests this broker emitted.
+    pub gossip_sent: u64,
+    /// Gossip digests heard and absorbed from peers.
+    pub gossip_heard: u64,
 }
 
 /// A federated context broker, as pure state + transitions.
@@ -99,6 +108,7 @@ pub struct BrokerNode {
     peers: PeerView,
     blocked: BTreeSet<String>,
     stats: NodeStats,
+    trace: TraceLog,
 }
 
 impl BrokerNode {
@@ -114,6 +124,7 @@ impl BrokerNode {
             peers: PeerView::new(),
             blocked: BTreeSet::new(),
             stats: NodeStats::default(),
+            trace: TraceLog::new(),
         }
     }
 
@@ -125,6 +136,78 @@ impl BrokerNode {
     /// Running counters.
     pub fn stats(&self) -> &NodeStats {
         &self.stats
+    }
+
+    /// The hop-event log trace assembly consumes (folded by the
+    /// harness after a run, served live by the `TRACE` ops request).
+    pub fn trace_log(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// This broker's id in the tracekit node namespace.
+    fn trace_node(&self) -> u64 {
+        u64::from(self.id.0)
+    }
+
+    /// Mirrors an active hop event onto the installed obskit collector
+    /// (single-threaded harnesses only; a no-op when no collector is
+    /// installed, i.e. on shard worker threads). The label carries the
+    /// tracekit markers [`TraceLog::from_obskit_jsonl`] lifts.
+    fn obs_hop(&self, ctx: TraceCtx, stage: Stage, span: u32, now: SimTime) {
+        if span == 0 || !obskit::enabled() {
+            return;
+        }
+        let phase = match stage {
+            Stage::Admit | Stage::Shed => obskit::Phase::Admission,
+            Stage::Federate | Stage::Gossip => obskit::Phase::Broker,
+            Stage::Deliver => obskit::Phase::Deliver,
+            _ => obskit::Phase::Dispatch,
+        };
+        let label = format!(
+            "hop t={:016x} s={} n={} h={} sp={span} p={}",
+            ctx.trace_id,
+            stage.as_str(),
+            self.trace_node(),
+            ctx.hop,
+            ctx.parent_span,
+        );
+        obskit::event(phase, &label, None, now);
+    }
+
+    /// Records the terminal deliver hop for a packet this broker
+    /// served. Harnesses call it at the moment a delivery actually
+    /// lands (EVT frame written, `OnItems` callback fired), so the
+    /// deliver span carries the landing time, not the dispatch time.
+    pub fn note_delivery(&mut self, trace: TraceCtx, now: SimTime) {
+        let node = self.trace_node();
+        let span = self.trace.record(trace, Stage::Deliver, node, now);
+        self.obs_hop(trace, Stage::Deliver, span, now);
+    }
+
+    /// Builds a metrics registry snapshot of this broker's counters and
+    /// gauges — the payload behind the `STATS` ops request. Plain data
+    /// (`Send`, no thread-local), so the TCP harness can call it from
+    /// any session thread.
+    pub fn telemetry(&self) -> obskit::Registry {
+        let mut reg = obskit::Registry::new();
+        let s = &self.stats;
+        reg.counter_add("broker_admitted_total", s.admission.admitted);
+        reg.counter_add("broker_shed_total", s.admission.shed);
+        reg.counter_add("broker_unattributed_total", s.admission.unattributed);
+        reg.counter_add("broker_expired_on_arrival_total", s.admission.expired);
+        reg.counter_add("broker_source_blocked_total", s.admission.blocked);
+        reg.counter_add("broker_delivered_total", s.delivered);
+        reg.counter_add("broker_forwarded_total", s.forwarded);
+        reg.counter_add("broker_loops_dropped_total", s.loops_dropped);
+        reg.counter_add("broker_subs_expired_total", s.subs_expired);
+        reg.counter_add("broker_packets_expired_total", s.packets_expired);
+        reg.counter_add("broker_gossip_sent_total", s.gossip_sent);
+        reg.counter_add("broker_gossip_heard_total", s.gossip_heard);
+        reg.counter_add("broker_trace_spans_total", self.trace.len() as u64);
+        reg.gauge_set("broker_queue_depth", self.inbox.len() as f64);
+        reg.gauge_set("broker_live_subscriptions", self.table.len() as f64);
+        reg.gauge_set("broker_federation_peers", self.peers.len() as f64);
+        reg
     }
 
     /// Current inbox depth (the backpressure signal gossip advertises).
@@ -191,9 +274,24 @@ impl BrokerNode {
             Ok(()) => {
                 self.stats.admission.admitted += 1;
                 obskit::count("broker_admitted", 1);
+                let node = self.trace_node();
+                let admit = self.trace.record(packet.trace, Stage::Admit, node, now);
+                self.obs_hop(packet.trace, Stage::Admit, admit, now);
+                let enq = self
+                    .trace
+                    .record(packet.trace.child(admit), Stage::Enqueue, node, now);
+                // The packet waits in the inbox re-parented under its
+                // enqueue hop, so the dispatch hop links to it.
+                if enq != 0 {
+                    packet.trace = packet.trace.child(enq);
+                }
+                obskit::gauge("broker_queue_depth", (self.inbox.len() + 1) as f64);
                 self.inbox.push_back(packet);
             }
             Err(e) => {
+                let node = self.trace_node();
+                let shed = self.trace.record(packet.trace, Stage::Shed, node, now);
+                self.obs_hop(packet.trace, Stage::Shed, shed, now);
                 self.note_refusal(e);
             }
         }
@@ -250,7 +348,7 @@ impl BrokerNode {
         let mut effects = Vec::new();
         let span = obskit::start(obskit::Phase::Dispatch, "drain", None, now);
         for _ in 0..self.cfg.drain_budget {
-            let Some(packet) = self.inbox.pop_front() else {
+            let Some(mut packet) = self.inbox.pop_front() else {
                 break;
             };
             if !packet.is_valid_at(now) {
@@ -259,8 +357,15 @@ impl BrokerNode {
                 obskit::count("broker_expired_in_queue", 1);
                 continue;
             }
+            let node = self.trace_node();
+            let dispatch = self.trace.record(packet.trace, Stage::Dispatch, node, now);
+            self.obs_hop(packet.trace, Stage::Dispatch, dispatch, now);
+            if dispatch != 0 {
+                packet.trace = packet.trace.child(dispatch);
+            }
             self.fan_out(packet, now, &mut effects);
         }
+        obskit::gauge("broker_queue_depth", self.inbox.len() as f64);
         obskit::end(span, now);
         effects
     }
@@ -283,13 +388,23 @@ impl BrokerNode {
             for peer in self.peers.brokers() {
                 if stamped.visited(peer) {
                     self.stats.loops_dropped += 1;
+                    obskit::count("broker_loops_dropped", 1);
                     continue;
                 }
                 self.stats.forwarded += 1;
                 obskit::count("broker_forwarded", 1);
+                let node = self.trace_node();
+                let fed = self.trace.record(stamped.trace, Stage::Federate, node, now);
+                self.obs_hop(stamped.trace, Stage::Federate, fed, now);
+                let mut forward = stamped.clone();
+                // The peer's admit hop parents under this federate hop,
+                // one federation hop further from the publisher.
+                if fed != 0 {
+                    forward.trace = forward.trace.hopped(fed);
+                }
                 effects.push(Effect::Forward {
                     to: peer,
-                    packet: stamped.clone(),
+                    packet: forward,
                 });
             }
         }
@@ -327,19 +442,36 @@ impl BrokerNode {
         stats
     }
 
-    /// This broker's gossip digest at `now`.
-    pub fn gossip_digest(&self, now: SimTime) -> LoadDigest {
+    /// This broker's gossip digest at `now`. Each digest roots a
+    /// gossip-plane trace, minted deterministically from
+    /// `(broker, now)` — no RNG, so the sampled set is a pure function
+    /// of the schedule.
+    pub fn gossip_digest(&mut self, now: SimTime) -> LoadDigest {
+        self.stats.gossip_sent += 1;
+        obskit::count("broker_gossip_sent", 1);
+        const GOSSIP_SALT: u64 = 0x6055_1bca_57a1_0000;
+        let material = GOSSIP_SALT ^ (u64::from(self.id.0) << 44) ^ now.as_micros();
+        let ctx = TraceCtx::root(material, self.cfg.trace_sample_log2);
+        let node = self.trace_node();
+        let span = self.trace.record(ctx, Stage::Gossip, node, now);
+        self.obs_hop(ctx, Stage::Gossip, span, now);
         LoadDigest {
             broker: self.id,
             queue_depth: self.inbox.len() as u64,
             subscriptions: self.table.len() as u64,
             at: now,
+            trace: if span != 0 { ctx.hopped(span) } else { ctx },
         }
     }
 
     /// Folds a heard digest into the peer view.
     pub fn hear_gossip(&mut self, digest: &LoadDigest, now: SimTime) {
         if digest.broker != self.id {
+            self.stats.gossip_heard += 1;
+            obskit::count("broker_gossip_heard", 1);
+            let node = self.trace_node();
+            let span = self.trace.record(digest.trace, Stage::Gossip, node, now);
+            self.obs_hop(digest.trace, Stage::Gossip, span, now);
             self.peers.absorb(digest, now);
         }
     }

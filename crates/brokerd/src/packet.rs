@@ -19,6 +19,7 @@ use contory::vocab::Sym;
 use contory::{CxtItem, CxtValue};
 use simkit::{SimDuration, SimTime};
 use std::fmt;
+use tracekit::TraceCtx;
 
 /// Stable identity of a broker in the federation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,6 +54,10 @@ pub struct ContextPacket {
     pub source: String,
     /// Brokers this packet already visited, in federation order.
     pub hops: Vec<BrokerId>,
+    /// Causal trace context ([`TraceCtx::NONE`] until a publisher mints
+    /// a root). Sampling is decided at the root from the deterministic
+    /// id material, never re-rolled per hop.
+    pub trace: TraceCtx,
 }
 
 impl ContextPacket {
@@ -73,7 +78,14 @@ impl ContextPacket {
             expires_at: published_at + lifetime,
             source: source.into(),
             hops: Vec::new(),
+            trace: TraceCtx::NONE,
         }
+    }
+
+    /// Attaches a trace context (builder style).
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// True while the packet may still be delivered.

@@ -11,23 +11,42 @@
 //! Frames:
 //!
 //! ```text
-//! PUB <type> <value_milli> <published_us> <expires_us> <source> [hops]
+//! PUB <type> <value_milli> <published_us> <expires_us> <source> [hops] [trace]
 //! SUB <type> <oneshot|periodic|event> <period_us> <expires_us> <now_us>
 //! UNSUB <sub_id>
 //! FETCH <type> <now_us>
 //! PING <now_us>
+//! STATS <now_us>
+//! TRACE <limit> <now_us>
 //! OK <token>
 //! ERR <code> <detail>
-//! EVT <sub_id> <type> <value_milli> <published_us> <expires_us> <source> <hops>
+//! EVT <sub_id> <type> <value_milli> <published_us> <expires_us> <source> <hops> [trace]
 //! PONG <now_us>
+//! STATS <pct_text>
+//! TRACE <count> <pct_line>...
 //! ```
 //!
-//! `hops` is a comma-separated broker-id list, `-` when empty.
+//! `hops` is a comma-separated broker-id list, `-` when empty. `trace`
+//! is an optional causal trace context in [`TraceCtx`] display form
+//! (`<trace16hex>.<parent>.<hop>.<s|u>`); frames without it decode to
+//! [`TraceCtx::NONE`], so pre-trace peers interoperate unchanged. The
+//! `STATS`/`TRACE` response payloads are free text carried as single
+//! percent-encoded tokens ([`pct_encode`]).
+//!
+//! Decoding is hardened: frames longer than [`MAX_FRAME_BYTES`] are
+//! refused before parsing, every failure is a typed [`WireError`], and
+//! no input — truncated, oversized or malformed — can panic the codec.
 
 use crate::packet::{BrokerId, ContextPacket};
 use crate::table::{SubId, SubMode};
 use simkit::{SimDuration, SimTime};
 use std::fmt;
+use tracekit::TraceCtx;
+
+/// Hard cap on one frame (request or response line, without the
+/// terminating newline). Oversized frames are refused before parsing so
+/// a hostile client cannot make the broker buffer unbounded garbage.
+pub const MAX_FRAME_BYTES: usize = 8192;
 
 /// A parsed request frame (client → broker).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +75,18 @@ pub enum Request {
     },
     /// Clock advance / liveness probe.
     Ping(SimTime),
+    /// Live telemetry snapshot (Prometheus-style text).
+    Stats {
+        /// Client logical clock.
+        now: SimTime,
+    },
+    /// Recent trace summaries.
+    Trace {
+        /// Maximum summaries to return.
+        limit: u64,
+        /// Client logical clock.
+        now: SimTime,
+    },
 }
 
 /// A response frame (broker → client).
@@ -79,41 +110,145 @@ pub enum Response {
     },
     /// Ping echo.
     Pong(SimTime),
+    /// Telemetry snapshot: Prometheus-style text, percent-encoded on
+    /// the wire.
+    Stats(String),
+    /// Recent trace summaries, one percent-encoded token per trace.
+    Trace(Vec<String>),
 }
 
-/// Codec failure.
+/// Codec failure, typed so callers can branch without string-matching.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct WireError(pub String);
+pub enum WireError {
+    /// A required field is missing from the frame.
+    Truncated {
+        /// The field that was expected.
+        what: &'static str,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// The field that was malformed.
+        what: &'static str,
+    },
+    /// The frame exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// Observed frame length.
+        len: usize,
+    },
+    /// The leading verb is not one this codec knows.
+    UnknownVerb(String),
+    /// Anything else structurally wrong with the frame.
+    Malformed {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl WireError {
+    /// A stable machine-readable code, suitable for `ERR` frames.
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::Truncated { .. } => "truncated",
+            WireError::BadNumber { .. } => "bad_number",
+            WireError::Oversized { .. } => "oversized",
+            WireError::UnknownVerb(_) => "unknown_verb",
+            WireError::Malformed { .. } => "malformed",
+        }
+    }
+}
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "wire error: {}", self.0)
+        match self {
+            WireError::Truncated { what } => write!(f, "wire error: missing {what}"),
+            WireError::BadNumber { what } => write!(f, "wire error: bad {what}"),
+            WireError::Oversized { len } => {
+                write!(f, "wire error: frame of {len} bytes exceeds {MAX_FRAME_BYTES}")
+            }
+            WireError::UnknownVerb(v) => write!(f, "wire error: unknown verb {v}"),
+            WireError::Malformed { detail } => write!(f, "wire error: {detail}"),
+        }
     }
 }
 
 impl std::error::Error for WireError {}
 
-fn err(msg: impl Into<String>) -> WireError {
-    WireError(msg.into())
+fn malformed(detail: impl Into<String>) -> WireError {
+    WireError::Malformed {
+        detail: detail.into(),
+    }
 }
 
-fn token(parts: &[&str], i: usize, what: &str) -> Result<String, WireError> {
+fn token(parts: &[&str], i: usize, what: &'static str) -> Result<String, WireError> {
     parts
         .get(i)
         .map(|s| (*s).to_owned())
-        .ok_or_else(|| err(format!("missing {what}")))
+        .ok_or(WireError::Truncated { what })
 }
 
-fn number(parts: &[&str], i: usize, what: &str) -> Result<u64, WireError> {
+fn number(parts: &[&str], i: usize, what: &'static str) -> Result<u64, WireError> {
     token(parts, i, what)?
         .parse::<u64>()
-        .map_err(|_| err(format!("bad {what}")))
+        .map_err(|_| WireError::BadNumber { what })
 }
 
-fn signed(parts: &[&str], i: usize, what: &str) -> Result<i64, WireError> {
+fn signed(parts: &[&str], i: usize, what: &'static str) -> Result<i64, WireError> {
     token(parts, i, what)?
         .parse::<i64>()
-        .map_err(|_| err(format!("bad {what}")))
+        .map_err(|_| WireError::BadNumber { what })
+}
+
+/// Percent-encodes free text into one spaceless ASCII token. Escapes
+/// `%`, whitespace, controls and non-ASCII; the empty string becomes
+/// `-` (and a literal lone `-` is escaped so the two never collide).
+pub fn pct_encode(text: &str) -> String {
+    if text.is_empty() {
+        return "-".to_owned();
+    }
+    if text == "-" {
+        return "%2d".to_owned();
+    }
+    let mut out = String::with_capacity(text.len());
+    for b in text.bytes() {
+        let escape = b == b'%' || b <= b' ' || b >= 0x7f;
+        if escape {
+            out.push('%');
+            out.push(char::from_digit(u32::from(b >> 4), 16).unwrap_or('0'));
+            out.push(char::from_digit(u32::from(b & 0xf), 16).unwrap_or('0'));
+        } else {
+            out.push(char::from(b));
+        }
+    }
+    out
+}
+
+/// Decodes a [`pct_encode`]d token back into text.
+///
+/// # Errors
+///
+/// Returns [`WireError::Malformed`] on dangling or non-hex escapes.
+pub fn pct_decode(token: &str) -> Result<String, WireError> {
+    if token == "-" {
+        return Ok(String::new());
+    }
+    let bytes = token.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while let Some(&b) = bytes.get(i) {
+        if b == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+                .ok_or_else(|| malformed("dangling percent escape"))?;
+            out.push(hex);
+            i += 3;
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| malformed("escape decodes to invalid utf-8"))
 }
 
 fn encode_hops(hops: &[BrokerId]) -> String {
@@ -132,13 +267,27 @@ fn decode_hops(text: &str) -> Result<Vec<BrokerId>, WireError> {
         return Ok(Vec::new());
     }
     text.split(',')
-        .map(|t| t.parse::<u16>().map(BrokerId).map_err(|_| err("bad hop id")))
+        .map(|t| {
+            t.parse::<u16>()
+                .map(BrokerId)
+                .map_err(|_| WireError::BadNumber { what: "hop id" })
+        })
         .collect()
 }
 
-fn check_token(t: &str, what: &str) -> Result<(), WireError> {
+fn check_token(t: &str, what: &'static str) -> Result<(), WireError> {
     if t.is_empty() || t.contains(' ') || t.contains('\n') {
-        Err(err(format!("{what} must be a non-empty spaceless token")))
+        Err(malformed(format!(
+            "{what} must be a non-empty spaceless token"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn check_frame_len(line: &str) -> Result<(), WireError> {
+    if line.len() > MAX_FRAME_BYTES {
+        Err(WireError::Oversized { len: line.len() })
     } else {
         Ok(())
     }
@@ -150,10 +299,19 @@ fn decode_packet(parts: &[&str], at: usize) -> Result<ContextPacket, WireError> 
     let published = SimTime::from_micros(number(parts, at + 2, "published_us")?);
     let expires = SimTime::from_micros(number(parts, at + 3, "expires_us")?);
     if expires < published {
-        return Err(err("expiry precedes publish time"));
+        return Err(malformed("expiry precedes publish time"));
     }
     let source = token(parts, at + 4, "source")?;
     let hops = decode_hops(&token(parts, at + 5, "hops").unwrap_or_else(|_| "-".into()))?;
+    let trace = match parts.get(at + 6) {
+        Some(t) => t
+            .parse::<TraceCtx>()
+            .map_err(|e| malformed(e.to_string()))?,
+        None => TraceCtx::NONE,
+    };
+    if parts.len() > at + 7 {
+        return Err(malformed("trailing tokens after trace context"));
+    }
     let mut p = ContextPacket::new(
         type_name,
         value_milli,
@@ -162,13 +320,14 @@ fn decode_packet(parts: &[&str], at: usize) -> Result<ContextPacket, WireError> 
         source,
     );
     p.hops = hops;
+    p.trace = trace;
     Ok(p)
 }
 
 fn encode_packet(p: &ContextPacket) -> Result<String, WireError> {
     check_token(&p.type_name, "type")?;
     check_token(&p.source, "source")?;
-    Ok(format!(
+    let mut line = format!(
         "{} {} {} {} {} {}",
         p.type_name,
         p.value_milli,
@@ -176,14 +335,24 @@ fn encode_packet(p: &ContextPacket) -> Result<String, WireError> {
         p.expires_at.as_micros(),
         p.source,
         encode_hops(&p.hops),
-    ))
+    );
+    if p.trace != TraceCtx::NONE {
+        line.push(' ');
+        line.push_str(&p.trace.to_string());
+    }
+    Ok(line)
 }
 
 impl Request {
     /// Encodes the request as one line (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Refuses tokens containing spaces and frames over
+    /// [`MAX_FRAME_BYTES`].
     pub fn encode(&self) -> Result<String, WireError> {
-        match self {
-            Request::Pub(p) => Ok(format!("PUB {}", encode_packet(p)?)),
+        let line = match self {
+            Request::Pub(p) => format!("PUB {}", encode_packet(p)?),
             Request::Sub {
                 type_name,
                 mode,
@@ -196,23 +365,34 @@ impl Request {
                     SubMode::Periodic(p) => ("periodic", p.as_micros()),
                     SubMode::Event => ("event", 0),
                 };
-                Ok(format!(
+                format!(
                     "SUB {type_name} {mode_word} {period} {} {}",
                     expires_at.as_micros(),
                     now.as_micros(),
-                ))
+                )
             }
-            Request::Unsub(id) => Ok(format!("UNSUB {}", id.0)),
+            Request::Unsub(id) => format!("UNSUB {}", id.0),
             Request::Fetch { type_name, now } => {
                 check_token(type_name, "type")?;
-                Ok(format!("FETCH {type_name} {}", now.as_micros()))
+                format!("FETCH {type_name} {}", now.as_micros())
             }
-            Request::Ping(now) => Ok(format!("PING {}", now.as_micros())),
-        }
+            Request::Ping(now) => format!("PING {}", now.as_micros()),
+            Request::Stats { now } => format!("STATS {}", now.as_micros()),
+            Request::Trace { limit, now } => {
+                format!("TRACE {limit} {}", now.as_micros())
+            }
+        };
+        check_frame_len(&line)?;
+        Ok(line)
     }
 
     /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`WireError`]; no input panics the codec.
     pub fn decode(line: &str) -> Result<Request, WireError> {
+        check_frame_len(line)?;
         let parts: Vec<&str> = line.split_whitespace().collect();
         match parts.first().copied() {
             Some("PUB") => Ok(Request::Pub(decode_packet(&parts, 1)?)),
@@ -224,12 +404,12 @@ impl Request {
                     "oneshot" => SubMode::OneShot,
                     "periodic" => {
                         if period.is_zero() {
-                            return Err(err("periodic mode requires a non-zero period"));
+                            return Err(malformed("periodic mode requires a non-zero period"));
                         }
                         SubMode::Periodic(period)
                     }
                     "event" => SubMode::Event,
-                    other => return Err(err(format!("unknown mode {other}"))),
+                    other => return Err(malformed(format!("unknown mode {other}"))),
                 };
                 Ok(Request::Sub {
                     type_name,
@@ -246,19 +426,31 @@ impl Request {
             Some("PING") => Ok(Request::Ping(SimTime::from_micros(number(
                 &parts, 1, "now_us",
             )?))),
-            Some(other) => Err(err(format!("unknown request {other}"))),
-            None => Err(err("empty line")),
+            Some("STATS") => Ok(Request::Stats {
+                now: SimTime::from_micros(number(&parts, 1, "now_us")?),
+            }),
+            Some("TRACE") => Ok(Request::Trace {
+                limit: number(&parts, 1, "limit")?,
+                now: SimTime::from_micros(number(&parts, 2, "now_us")?),
+            }),
+            Some(other) => Err(WireError::UnknownVerb(other.to_owned())),
+            None => Err(WireError::Truncated { what: "verb" }),
         }
     }
 }
 
 impl Response {
     /// Encodes the response as one line (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Refuses tokens containing spaces and frames over
+    /// [`MAX_FRAME_BYTES`].
     pub fn encode(&self) -> Result<String, WireError> {
-        match self {
+        let line = match self {
             Response::Ok(tok) => {
                 check_token(tok, "token")?;
-                Ok(format!("OK {tok}"))
+                format!("OK {tok}")
             }
             Response::Err { code, detail } => {
                 check_token(code, "code")?;
@@ -267,15 +459,31 @@ impl Response {
                 } else {
                     detail.replace([' ', '\n'], "_")
                 };
-                Ok(format!("ERR {code} {detail}"))
+                format!("ERR {code} {detail}")
             }
-            Response::Evt { sub, packet } => Ok(format!("EVT {} {}", sub.0, encode_packet(packet)?)),
-            Response::Pong(now) => Ok(format!("PONG {}", now.as_micros())),
-        }
+            Response::Evt { sub, packet } => format!("EVT {} {}", sub.0, encode_packet(packet)?),
+            Response::Pong(now) => format!("PONG {}", now.as_micros()),
+            Response::Stats(text) => format!("STATS {}", pct_encode(text)),
+            Response::Trace(lines) => {
+                let mut out = format!("TRACE {}", lines.len());
+                for l in lines {
+                    out.push(' ');
+                    out.push_str(&pct_encode(l));
+                }
+                out
+            }
+        };
+        check_frame_len(&line)?;
+        Ok(line)
     }
 
     /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`WireError`]; no input panics the codec.
     pub fn decode(line: &str) -> Result<Response, WireError> {
+        check_frame_len(line)?;
         let parts: Vec<&str> = line.split_whitespace().collect();
         match parts.first().copied() {
             Some("OK") => Ok(Response::Ok(token(&parts, 1, "token")?)),
@@ -290,8 +498,27 @@ impl Response {
             Some("PONG") => Ok(Response::Pong(SimTime::from_micros(number(
                 &parts, 1, "now_us",
             )?))),
-            Some(other) => Err(err(format!("unknown response {other}"))),
-            None => Err(err("empty line")),
+            Some("STATS") => Ok(Response::Stats(pct_decode(&token(
+                &parts, 1, "stats text",
+            )?)?)),
+            Some("TRACE") => {
+                let count = number(&parts, 1, "trace count")?;
+                let lines = parts
+                    .get(2..)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|t| pct_decode(t))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if lines.len() as u64 != count {
+                    return Err(malformed(format!(
+                        "trace count {count} does not match {} lines",
+                        lines.len()
+                    )));
+                }
+                Ok(Response::Trace(lines))
+            }
+            Some(other) => Err(WireError::UnknownVerb(other.to_owned())),
+            None => Err(WireError::Truncated { what: "verb" }),
         }
     }
 }
@@ -316,6 +543,7 @@ mod tests {
     fn requests_round_trip() {
         let reqs = vec![
             Request::Pub(sample_packet()),
+            Request::Pub(sample_packet().with_trace(TraceCtx::root(77, 0).child(9))),
             Request::Sub {
                 type_name: "temperature".into(),
                 mode: SubMode::Periodic(SimDuration::from_secs(5)),
@@ -334,6 +562,13 @@ mod tests {
                 now: SimTime::from_secs(2),
             },
             Request::Ping(SimTime::from_micros(123)),
+            Request::Stats {
+                now: SimTime::from_secs(4),
+            },
+            Request::Trace {
+                limit: 16,
+                now: SimTime::from_secs(5),
+            },
         ];
         for r in reqs {
             let line = r.encode().unwrap();
@@ -353,7 +588,18 @@ mod tests {
                 sub: SubId(3),
                 packet: sample_packet(),
             },
+            Response::Evt {
+                sub: SubId(4),
+                packet: sample_packet().with_trace(TraceCtx::root(5, 0).hopped(31)),
+            },
             Response::Pong(SimTime::from_secs(9)),
+            Response::Stats("broker_published_total 4\nbroker_queue_depth 1\n".into()),
+            Response::Stats(String::new()),
+            Response::Trace(vec![
+                "trace=00000000000000ab spans=5 deliveries=1".into(),
+                "trace=00000000000000cd spans=2 deliveries=0".into(),
+            ]),
+            Response::Trace(Vec::new()),
         ];
         for r in resps {
             let line = r.encode().unwrap();
@@ -362,20 +608,80 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_are_rejected_not_panicking() {
-        for bad in [
-            "",
-            "NOPE x",
-            "PUB wind",
-            "PUB wind abc 0 0 src -",
-            "SUB t periodic 0 0 0",
-            "SUB t warp 1 0 0",
-            "PUB wind 1 10 5 src -", // expiry before publish
-            "UNSUB xyz",
-        ] {
-            assert!(Request::decode(bad).is_err(), "accepted: {bad:?}");
+    fn untraced_packets_stay_on_the_legacy_layout() {
+        // A NONE trace must not grow the frame: old peers keep parsing.
+        let line = Request::Pub(sample_packet()).encode().unwrap();
+        assert_eq!(line.split_whitespace().count(), 7, "line: {line}");
+        // And a legacy frame without the trace token decodes to NONE.
+        let decoded = Request::decode(&line).unwrap();
+        match decoded {
+            Request::Pub(p) => assert_eq!(p.trace, TraceCtx::NONE),
+            other => panic!("expected PUB, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_typed_errors() {
+        let cases: Vec<(&str, &str)> = vec![
+            ("", "truncated"),
+            ("PUB wind", "truncated"),
+            ("NOPE x", "unknown_verb"),
+            ("PUB wind abc 0 0 src -", "bad_number"),
+            ("UNSUB xyz", "bad_number"),
+            ("PUB wind 1 0 5 src 9,x", "bad_number"),
+            ("SUB t periodic 0 0 0", "malformed"),
+            ("SUB t warp 1 0 0", "malformed"),
+            ("PUB wind 1 10 5 src -", "malformed"), // expiry before publish
+            ("PUB wind 1 0 5 src - zz.0.0.s", "malformed"), // bad trace token
+            ("PUB wind 1 0 5 src - 1.0.0.s extra", "malformed"),
+            ("TRACE abc 0", "bad_number"),
+        ];
+        for (bad, code) in cases {
+            let e = Request::decode(bad).expect_err(bad);
+            assert_eq!(e.code(), code, "frame: {bad:?} err: {e}");
         }
         assert!(Response::decode("EVT 1 t 1 0").is_err());
+        assert_eq!(
+            Response::decode("TRACE 2 only%20one").unwrap_err().code(),
+            "malformed"
+        );
+        assert_eq!(
+            Response::decode("STATS bad%zz").unwrap_err().code(),
+            "malformed"
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_parsing() {
+        let big = format!("PUB {} 1 0 5 src -", "x".repeat(MAX_FRAME_BYTES));
+        assert_eq!(
+            Request::decode(&big).unwrap_err(),
+            WireError::Oversized { len: big.len() }
+        );
+        // Encode-side too: a response that cannot fit is refused, not
+        // silently truncated.
+        let huge = Response::Stats("y".repeat(MAX_FRAME_BYTES));
+        assert!(matches!(
+            huge.encode().unwrap_err(),
+            WireError::Oversized { .. }
+        ));
+    }
+
+    #[test]
+    fn pct_encoding_round_trips_awkward_text() {
+        for text in [
+            "",
+            "-",
+            "plain",
+            "two words",
+            "line\nbreak",
+            "100% déjà-vu",
+            "%2d literal",
+        ] {
+            let tok = pct_encode(text);
+            assert!(!tok.contains(' ') && !tok.contains('\n'), "token: {tok}");
+            assert_eq!(pct_decode(&tok).unwrap(), text, "text: {text:?}");
+        }
     }
 
     #[test]

@@ -41,6 +41,30 @@ fn report_is_byte_identical_across_the_partition_matrix() {
 }
 
 #[test]
+fn trace_export_is_byte_identical_across_partitions() {
+    // Full sampling so the trace plane carries real traffic; the
+    // canonical JSONL export (not just its digest) must be the same
+    // bytes for every partition of the engine.
+    let traced = |shards, threads| {
+        let mut c = cfg(29, shards, threads, 4);
+        c.node.trace_sample_log2 = 0;
+        run_fleet(&c)
+    };
+    let reference = traced(1, 1);
+    assert!(reference.trace_spans > 0, "full sampling recorded nothing");
+    let reference_export = reference.trace.export_jsonl();
+    for (shards, threads) in [(2u32, 2u32), (4, 4)] {
+        let got = traced(shards, threads);
+        assert_eq!(
+            got.trace.export_jsonl(),
+            reference_export,
+            "trace export diverged at shards={shards} threads={threads}"
+        );
+        assert_eq!(got.trace_digest, reference.trace_digest);
+    }
+}
+
+#[test]
 fn faulted_runs_are_equally_partition_invariant() {
     let mut plan = FaultPlan::new(23);
     plan.kill_at("broker:1", SimTime::from_secs(10));

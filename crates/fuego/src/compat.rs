@@ -42,6 +42,12 @@ pub struct PacketFields<'a> {
     pub source: &'a str,
     /// Federation hop trail (broker ids, publish order).
     pub hops: &'a [u16],
+    /// Optional trace context carried across the compat boundary.
+    /// `None` (or an inactive context) renders the classic layout
+    /// byte-for-byte; an active context adds a `trace` element that the
+    /// padding region absorbs, so the frame stays [`ENVELOPE_BYTES`]
+    /// either way.
+    pub trace: Option<tracekit::TraceCtx>,
 }
 
 /// Renders the packet's application body: the `cxtItem` shape Contory's
@@ -53,7 +59,7 @@ fn packet_body(f: &PacketFields<'_>) -> XmlElement {
     for b in f.hops {
         route = route.child(XmlElement::new("via").attr("id", b.to_string()));
     }
-    XmlElement::new("cxtItem")
+    let mut item = XmlElement::new("cxtItem")
         .attr("type", f.type_name)
         .attr("timestamp", (f.published_at.as_micros() / 1_000).to_string())
         .attr("lifetime", lifetime_ms.to_string())
@@ -69,7 +75,16 @@ fn packet_body(f: &PacketFields<'_>) -> XmlElement {
                 .child(XmlElement::new("privacy").text("community"))
                 .child(XmlElement::new("trust").text("trusted")),
         )
-        .child(route)
+        .child(route);
+    if let Some(trace) = f.trace.filter(|t| t.is_active()) {
+        item = item.child(
+            XmlElement::new("trace")
+                .attr("id", format!("{:016x}", trace.trace_id))
+                .attr("span", trace.parent_span.to_string())
+                .attr("hop", trace.hop.to_string()),
+        );
+    }
+    item
 }
 
 /// Wraps a broker packet in a Fuego event notification (topic
@@ -122,6 +137,7 @@ mod tests {
             expires_at: SimTime::from_secs(120) + SimDuration::from_secs(60),
             source: &source,
             hops: &[1],
+            trace: None,
         };
         let env = envelope_for_packet(&f, id);
         assert_eq!(env.wire_size(), ENVELOPE_BYTES);
@@ -142,9 +158,43 @@ mod tests {
                 expires_at: SimTime::from_millis(1_123_851_807) + SimDuration::from_secs(300),
                 source: src,
                 hops,
+                trace: None,
             };
             assert_eq!(envelope_for_packet(&f, 7).wire_size(), ENVELOPE_BYTES, "{ty}");
         }
+    }
+
+    #[test]
+    fn trace_context_rides_in_the_padding_region() {
+        let (source, id) = canonical();
+        let mut f = PacketFields {
+            type_name: "wind",
+            value_milli: 8_500,
+            published_at: SimTime::from_secs(120),
+            expires_at: SimTime::from_secs(120) + SimDuration::from_secs(60),
+            source: &source,
+            hops: &[1],
+            trace: None,
+        };
+        let classic = envelope_for_packet(&f, id);
+        assert_eq!(classic.wire_size(), ENVELOPE_BYTES);
+        assert!(!classic.to_xml().contains("<trace"), "untraced layout grew a trace element");
+
+        // An inactive context renders the classic layout byte-for-byte.
+        f.trace = Some(tracekit::TraceCtx::NONE);
+        assert_eq!(envelope_for_packet(&f, id).to_xml(), classic.to_xml());
+
+        // An active one adds the element; the padding absorbs it.
+        let ctx = tracekit::TraceCtx::root(0xabcd, 0).child(7);
+        f.trace = Some(ctx);
+        let traced = envelope_for_packet(&f, id);
+        assert_eq!(traced.wire_size(), ENVELOPE_BYTES, "trace element broke the pinned frame");
+        let parsed = XmlElement::parse(&traced.to_xml()).expect("traced envelope stays well-formed");
+        let back = EventNotification::from_envelope(&parsed).expect("envelope shape intact");
+        let trace = back.body.find("trace").expect("trace element");
+        assert_eq!(trace.attribute("id"), Some(format!("{:016x}", ctx.trace_id).as_str()));
+        assert_eq!(trace.attribute("span"), Some("7"));
+        assert_eq!(trace.attribute("hop"), Some("0"));
     }
 
     #[test]
@@ -157,6 +207,7 @@ mod tests {
             expires_at: SimTime::from_secs(120) + SimDuration::from_secs(60),
             source: &source,
             hops: &[1, 3],
+            trace: None,
         };
         let env = envelope_for_packet(&f, id);
         let parsed = XmlElement::parse(&env.to_xml()).expect("padded envelope stays well-formed");

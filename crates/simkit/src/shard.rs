@@ -150,6 +150,142 @@ impl ShardConfig {
     }
 }
 
+/// A minimal log2-bucketed histogram for engine self-profiling.
+///
+/// Lives here (not in `obskit`) because `obskit` depends on `simkit`;
+/// the engine must not close that cycle. Pure integers, no wall clock —
+/// safe inside sim-visible code under the determinism lint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Hist {
+    counts: [u64; 65],
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist {
+            counts: [0; 65],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub fn new() -> Log2Hist {
+        Log2Hist::default()
+    }
+
+    /// Records one value (bucket `b` holds values in `[2^(b-1), 2^b)`;
+    /// zero lands in bucket 0).
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize;
+        if let Some(c) = self.counts.get_mut(b) {
+            *c += 1;
+        }
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.sum / self.total
+        }
+    }
+
+    /// Non-empty buckets as `(exclusive_upper_bound, count)`, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(b, n)| {
+                let upper = if b >= 64 { u64::MAX } else { 1u64 << b };
+                (upper, *n)
+            })
+            .collect()
+    }
+}
+
+/// Per-shard engine counters accumulated during a run.
+///
+/// Profile data is **partition-dependent by nature** (it describes the
+/// physical shard layout), so it is kept out of every equality-compared
+/// outcome; the `*_profiled` run APIs return it alongside — never
+/// inside — the deterministic result.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Barrier rounds executed.
+    pub rounds: u64,
+    /// Events executed per physical shard (cumulative).
+    pub events_per_shard: Vec<u64>,
+    /// Peak event-queue depth observed per physical shard.
+    pub queue_peak_per_shard: Vec<u64>,
+    /// Events one shard executed in one round (batch size between
+    /// merge barriers).
+    pub batch_events: Log2Hist,
+    /// Per-round shard imbalance `max(batch) − min(batch)`: how long
+    /// the fastest shard idles at the merge barrier, in event units —
+    /// the engine's wall-clock-free merge-stall measure.
+    pub barrier_imbalance: Log2Hist,
+}
+
+impl EngineProfile {
+    /// Total events across shards.
+    pub fn total_events(&self) -> u64 {
+        self.events_per_shard.iter().sum()
+    }
+
+    /// Largest queue peak across shards.
+    pub fn max_queue_peak(&self) -> u64 {
+        self.queue_peak_per_shard.iter().copied().max().unwrap_or(0)
+    }
+
+    /// A compact multi-line rendering for run artifacts.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "rounds={} batch_mean={} batch_max={} stall_mean={} stall_max={}\n",
+            self.rounds,
+            self.batch_events.mean(),
+            self.batch_events.max(),
+            self.barrier_imbalance.mean(),
+            self.barrier_imbalance.max(),
+        );
+        for (i, (events, peak)) in self
+            .events_per_shard
+            .iter()
+            .zip(&self.queue_peak_per_shard)
+            .enumerate()
+        {
+            out.push_str(&format!("shard{i} events={events} queue_peak={peak}\n"));
+        }
+        out
+    }
+}
+
 struct Entry<E> {
     key: EventKey,
     ev: E,
@@ -334,6 +470,7 @@ pub struct ShardSim<A, E, H> {
     transcript: Vec<String>,
     emitted: u64,
     digest: u64,
+    profile: EngineProfile,
 }
 
 /// FNV-1a offset basis.
@@ -375,6 +512,11 @@ where
             transcript: Vec::new(),
             emitted: 0,
             digest: FNV_OFFSET,
+            profile: EngineProfile {
+                events_per_shard: vec![0; shards as usize],
+                queue_peak_per_shard: vec![0; shards as usize],
+                ..EngineProfile::default()
+            },
         }
     }
 
@@ -460,6 +602,14 @@ where
         self.rounds
     }
 
+    /// The engine's self-profile: per-shard event/queue counters and
+    /// merge-barrier imbalance histograms. Describes the *physical*
+    /// layout, so it varies with the shard count — never fold it into
+    /// an equality-compared outcome.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
     /// Records emitted via [`EventCtx::emit`].
     pub fn emitted(&self) -> u64 {
         self.emitted
@@ -542,6 +692,22 @@ where
         // ---- barrier: the deterministic cross-shard merge ----
         // Everything below is ordered by partition-independent keys, so
         // the merged result is identical for any shard/thread layout.
+        // Profile pass first (outs is consumed by the merge below).
+        self.profile.rounds += 1;
+        let mut batch_max = 0u64;
+        let mut batch_min = u64::MAX;
+        for (i, out) in outs.iter().enumerate() {
+            if let Some(n) = self.profile.events_per_shard.get_mut(i) {
+                *n += out.processed;
+            }
+            self.profile.batch_events.record(out.processed);
+            batch_max = batch_max.max(out.processed);
+            batch_min = batch_min.min(out.processed);
+        }
+        if !outs.is_empty() {
+            self.profile.barrier_imbalance.record(batch_max - batch_min);
+        }
+
         let mut sends: Vec<Outgoing<E>> = Vec::new();
         let mut emits: Vec<(EventKey, String)> = Vec::new();
         for out in outs {
@@ -566,6 +732,14 @@ where
             slot.next_seq += 1;
             self.messages += 1;
             self.shards[shard].queue.push(Entry { key, ev: m.ev });
+        }
+
+        // Queue peaks after the merge landed its deliveries.
+        for (peak, shard) in self.profile.queue_peak_per_shard.iter_mut().zip(&self.shards) {
+            let depth = shard.queue.len() as u64;
+            if depth > *peak {
+                *peak = depth;
+            }
         }
 
         for (key, record) in emits {
@@ -741,6 +915,50 @@ mod tests {
                 assert_eq!(got, reference, "diverged at shards={shards} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn profile_accounts_for_every_event_without_touching_outputs() {
+        let cfg = ShardConfig {
+            seed: 7,
+            shards: 4,
+            threads: 2,
+            record_transcript: false,
+        };
+        let mut sim = ShardSim::new(cfg, ring_handler(24));
+        for a in 0..24 {
+            sim.add_actor(ActorId(a), 0u64);
+        }
+        for a in 0..24 {
+            sim.schedule(ActorId(a), SimTime::from_millis(a % 7), 5).unwrap();
+        }
+        sim.run_until_idle();
+        let p = sim.profile();
+        assert_eq!(p.total_events(), sim.events_processed());
+        assert_eq!(p.rounds, sim.rounds());
+        assert_eq!(p.events_per_shard.len(), 4);
+        assert_eq!(p.batch_events.count(), p.rounds * 4);
+        assert!(p.barrier_imbalance.count() > 0);
+        assert!(p.table().contains("shard3 "), "table:\n{}", p.table());
+        // Profile varies with layout; the run digest must not.
+        let (digest_1shard, _, _) = ring_run(7, 24, 1, 1);
+        assert_eq!(sim.digest(), digest_1shard);
+    }
+
+    #[test]
+    fn log2_hist_buckets_and_moments() {
+        let mut h = Log2Hist::new();
+        for v in [0, 1, 1, 3, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1013);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 168);
+        let buckets = h.buckets();
+        // 0 → bucket 0 (upper 1); 1,1 → upper 2; 3 → upper 4;
+        // 8 → upper 16; 1000 → upper 1024.
+        assert_eq!(buckets, vec![(1, 1), (2, 2), (4, 1), (16, 1), (1024, 1)]);
     }
 
     #[test]

@@ -26,7 +26,11 @@
 #    unit suite, loopback TCP smoke, fleet partition invariance, the
 #    45 s kill-over SLO and the 1696 B envelope golden test
 #    (scripts/broker.sh, DESIGN.md §5h);
-# 8. the bench gate: bench_all re-runs the whole §6 suite (now
+# 8. the trace gate: the tracekit causal-tracing plane — unit suite,
+#    assembly property tests, golden JSONL/break-up schemas, fleet
+#    trace partition invariance and the STATS/TRACE ops surface
+#    (scripts/trace.sh, DESIGN.md §5i);
+# 9. the bench gate: bench_all re-runs the whole §6 suite (now
 #    including scale_city at 100k devices and broker_load at 10k
 #    devices over 4 brokers), rewrites results/*.txt +
 #    BENCH_contory.json, and diffs every pinned metric against the
@@ -60,6 +64,9 @@ cargo run -q --release -p contory-bench --bin sm_breakup
 
 echo "==> broker gate (brokerd in all three harnesses, DESIGN.md 5h)"
 ./scripts/broker.sh
+
+echo "==> trace gate (tracekit causal tracing plane, DESIGN.md 5i)"
+./scripts/trace.sh
 
 echo "==> bench gate (full 6 suite vs results/baseline.json bands)"
 cargo run -q --release -p contory-bench --bin bench_all -- --check

@@ -6,6 +6,7 @@
 use brokerd::{BrokerId, ContextPacket};
 use fuego::compat::{envelope_for_packet, PacketFields, ENVELOPE_BYTES};
 use simkit::{SimDuration, SimTime};
+use tracekit::TraceCtx;
 
 fn frame_size(packet: &ContextPacket, id: u64) -> usize {
     let hops: Vec<u16> = packet.hops.iter().map(|b| b.0).collect();
@@ -16,6 +17,7 @@ fn frame_size(packet: &ContextPacket, id: u64) -> usize {
         expires_at: packet.expires_at,
         source: &packet.source,
         hops: &hops,
+        trace: (packet.trace != TraceCtx::NONE).then_some(packet.trace),
     };
     envelope_for_packet(&fields, id).wire_size()
 }
@@ -54,5 +56,13 @@ fn broker_packet_envelope_is_pinned_at_1696_bytes() {
             source,
         );
         assert_eq!(frame_size(&p, 7), 1696, "{ty} envelope drifted");
+        // The traced layout costs the same: the trace element is
+        // absorbed by the padding region, not the wire budget.
+        let traced = p.with_trace(TraceCtx::root(0xfeed ^ id_salt(ty), 0).child(3));
+        assert_eq!(frame_size(&traced, 7), 1696, "{ty} traced envelope drifted");
     }
+}
+
+fn id_salt(ty: &str) -> u64 {
+    ty.bytes().fold(0u64, |a, b| a.rotate_left(7) ^ u64::from(b))
 }

@@ -4,8 +4,9 @@
 //! testbed partitioned into `shards` ordering domains and renders
 //! everything observable about the run into one string: event counts,
 //! the mechanism-switch timeline, every delivered item, the serialized
-//! `FailoverReport`, the obskit metrics/span exports and the benchkit
-//! scenario JSON. Both `tests/determinism.rs` (same seed ⇒ same bytes)
+//! `FailoverReport`, the obskit metrics/span exports, the benchkit
+//! scenario JSON and a fully-sampled tracekit trace export from a small
+//! broker fleet. Both `tests/determinism.rs` (same seed ⇒ same bytes)
 //! and `tests/shard_determinism.rs` (same seed ⇒ same bytes *for every
 //! shard count*) compare these transcripts byte-for-byte.
 
@@ -156,5 +157,32 @@ pub fn run_fig5_transcript(seed: u64, shards: u32) -> String {
     }
     let _ = writeln!(out, "-- benchkit scenario report (json) --");
     let _ = writeln!(out, "{}", ctx.finish().to_json().render());
+
+    // tracekit export: a small fully-sampled broker fleet partitioned on
+    // the same shard count. The trace plane is partition-invariant, so
+    // the canonical JSONL export, its digest and the assembled break-up
+    // are part of the byte-identity contract too. (Runs after the obskit
+    // sections are rendered, so inline-vs-worker span mirroring cannot
+    // perturb them.)
+    let mut node = brokerd::NodeConfig::default();
+    node.trace_sample_log2 = 0;
+    let fleet = brokerd::run_fleet(&brokerd::FleetConfig {
+        seed: seed ^ 0x77ace,
+        brokers: 3,
+        devices: 60,
+        shards: shards.max(1),
+        threads: if shards > 1 { 2 } else { 1 },
+        run_for: SimDuration::from_secs(5),
+        node,
+        ..brokerd::FleetConfig::default()
+    });
+    let _ = writeln!(out, "-- tracekit fleet report --");
+    let _ = writeln!(out, "{}", fleet.report());
+    let _ = writeln!(out, "-- tracekit trace export (jsonl) --");
+    let _ = write!(out, "{}", fleet.trace.export_jsonl());
+    let _ = writeln!(out, "trace_digest={:016x}", fleet.trace.digest());
+    let breakup = tracekit::Breakup::of(&tracekit::assemble(&fleet.trace));
+    let _ = writeln!(out, "-- trace break-up (json) --");
+    let _ = writeln!(out, "{}", breakup.to_json());
     out
 }
