@@ -33,8 +33,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
     let write_baseline = args.iter().any(|a| a == "--write-baseline");
-    // `--shards N`: partition count for the scale_city run. Outputs are
-    // shard-invariant by the engine's contract; only wall-clock moves.
+    // `--shards N`: partition count for the scale_city, broker_load and
+    // broker_chaos runs. Outputs are shard-invariant by the engine's
+    // contract; only wall-clock moves.
     let mut rest = args
         .iter()
         .filter(|a| *a != "--check" && *a != "--write-baseline");
@@ -50,6 +51,7 @@ fn main() {
                 });
             contory_bench::scenarios::scale_city::set_shards(n);
             contory_bench::scenarios::broker_load::set_shards(n);
+            contory_bench::scenarios::broker_chaos::set_shards(n);
         } else {
             eprintln!("unknown flag '{a}' (known: --check, --write-baseline, --shards N)");
             std::process::exit(2);

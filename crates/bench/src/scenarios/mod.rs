@@ -1,11 +1,13 @@
-//! The eight §6 regenerators — plus the beyond-paper `scale_city` and
-//! `broker_load` scale scenarios — as [`benchkit::Scenario`]s.
+//! The eight §6 regenerators — plus the beyond-paper `scale_city`,
+//! `broker_load` and `broker_chaos` scale scenarios — as
+//! [`benchkit::Scenario`]s.
 //!
 //! One module per table/figure/in-text measurement set; [`all`] returns
 //! the suite in the fixed order `bench_all` runs and exports it in.
 
 pub mod ablation_cache;
 pub mod ablation_merging;
+pub mod broker_chaos;
 pub mod broker_load;
 pub mod fig4;
 pub mod fig5;
@@ -31,5 +33,6 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
         Box::new(ablation_merging::AblationMerging),
         Box::new(scale_city::ScaleCity),
         Box::new(broker_load::BrokerLoad),
+        Box::new(broker_chaos::BrokerChaos),
     ]
 }

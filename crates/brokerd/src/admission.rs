@@ -34,6 +34,13 @@ pub enum BrokerError {
     SourceBlocked(String),
     /// The broker is down (scripted fault or shutdown).
     BrokerDown,
+    /// A tracked federation forward ran out of retries without an ack.
+    RetryExhausted {
+        /// Attempts made before giving up (initial send excluded).
+        attempts: u32,
+    },
+    /// The federation peer could not be reached at all (no transport).
+    PeerUnreachable(crate::packet::BrokerId),
     /// No retained context and no provider for the requested type.
     NoSuchContext(String),
 }
@@ -48,6 +55,10 @@ impl fmt::Display for BrokerError {
             BrokerError::ExpiredOnArrival => f.write_str("publish refused: expired on arrival"),
             BrokerError::SourceBlocked(s) => write!(f, "publish refused: source {s} blocked"),
             BrokerError::BrokerDown => f.write_str("broker down"),
+            BrokerError::RetryExhausted { attempts } => {
+                write!(f, "federation forward abandoned after {attempts} retries")
+            }
+            BrokerError::PeerUnreachable(b) => write!(f, "federation peer {b} unreachable"),
             BrokerError::NoSuchContext(t) => write!(f, "no context of type {t}"),
         }
     }
@@ -63,11 +74,15 @@ impl std::error::Error for BrokerError {}
 impl From<BrokerError> for RefError {
     fn from(e: BrokerError) -> RefError {
         match e {
-            BrokerError::QueueFull { .. } => RefError::Timeout,
+            BrokerError::QueueFull { .. } | BrokerError::RetryExhausted { .. } => {
+                RefError::Timeout
+            }
             BrokerError::Unattributed
             | BrokerError::ExpiredOnArrival
             | BrokerError::SourceBlocked(_) => RefError::Denied(e.to_string()),
-            BrokerError::BrokerDown => RefError::Unavailable(e.to_string()),
+            BrokerError::BrokerDown | BrokerError::PeerUnreachable(_) => {
+                RefError::Unavailable(e.to_string())
+            }
             BrokerError::NoSuchContext(t) => RefError::NotFound(t),
         }
     }
@@ -124,6 +139,16 @@ mod tests {
         assert!(matches!(
             RefError::from(BrokerError::NoSuchContext("t".into())),
             RefError::NotFound(_)
+        ));
+        // Retry exhaustion is retryable upstream; an unreachable peer
+        // triggers failover like downtime.
+        assert_eq!(
+            RefError::from(BrokerError::RetryExhausted { attempts: 3 }),
+            RefError::Timeout
+        );
+        assert!(matches!(
+            RefError::from(BrokerError::PeerUnreachable(crate::packet::BrokerId(2))),
+            RefError::Unavailable(_)
         ));
     }
 

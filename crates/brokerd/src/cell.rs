@@ -200,7 +200,7 @@ impl Inner {
     fn pump(&mut self, now: SimTime) -> Vec<(OnItems, Vec<CxtItem>)> {
         self.ensure_selection(now);
         let ids: Vec<BrokerId> = self.brokers.keys().copied().collect();
-        let mut forwards: Vec<(BrokerId, ContextPacket)> = Vec::new();
+        let mut forwards: Vec<(BrokerId, BrokerId, ContextPacket, u64)> = Vec::new();
         let mut delivered: Vec<(BrokerId, SubId, ContextPacket)> = Vec::new();
         for id in &ids {
             if !self.is_up(*id, now) {
@@ -211,20 +211,31 @@ impl Inner {
             };
             let mut effects = slot.node.drain(now);
             effects.extend(slot.node.periodic_fire(now));
+            effects.extend(slot.node.fwd_retries_due(now));
             slot.node.sweep(now);
             for effect in effects {
                 match effect {
                     Effect::Deliver { sub, packet, .. } => delivered.push((*id, sub, packet)),
-                    Effect::Forward { to, packet } => forwards.push((to, packet)),
+                    Effect::Forward { to, packet, fwd_id } => {
+                        forwards.push((*id, to, packet, fwd_id));
+                    }
                 }
             }
         }
-        for (to, packet) in forwards {
+        for (from, to, packet, fwd_id) in forwards {
             if !self.is_up(to, now) {
-                continue;
+                continue; // the sender's pending entry re-fires later
             }
-            if let Some(slot) = self.brokers.get_mut(&to) {
-                let _ = slot.node.publish(packet, now);
+            let admitted = match self.brokers.get_mut(&to) {
+                Some(slot) => slot.node.publish(packet, now).is_ok(),
+                None => false,
+            };
+            // Synchronous federation: a successful publish *is* the
+            // ack, duplicates included (idempotent at-least-once).
+            if admitted && fwd_id != 0 {
+                if let Some(slot) = self.brokers.get_mut(&from) {
+                    slot.node.fwd_ack(fwd_id);
+                }
             }
         }
         let mut callbacks = Vec::new();
@@ -380,7 +391,10 @@ impl CellReference for FederatedCell {
                 .get_mut(&sel)
                 .ok_or_else(|| RefError::Unavailable("no live broker".into()))?;
             obskit::count("cell_store", 1);
-            slot.node.publish(packet, now).map_err(RefError::from)
+            slot.node
+                .publish(packet, now)
+                .map(|_| ())
+                .map_err(RefError::from)
         })();
         inner.sim.schedule_in(uplink, move || cb(result));
     }

@@ -1,0 +1,271 @@
+//! Bounded dedup windows for idempotent at-least-once delivery.
+//!
+//! Chaos links duplicate packets and federation retries re-send them;
+//! both hand the broker the *same* [`PacketSeq`]. A [`DedupWindow`]
+//! remembers, per publisher origin, the highest sequence number seen
+//! plus a fixed-width bitmap of the [`SEQ_WINDOW`] sequence numbers
+//! below it, and answers "have I admitted this exact packet before?" in
+//! O(log origins).
+//!
+//! Sizing rationale: the window must cover the worst-case reorder
+//! spread — how many *newer* packets from the same origin can overtake
+//! a straggler. That is bounded by (reorder delay / publish period) ×
+//! duplication factor; with the chaos defaults (≤ 250 ms reorder bound,
+//! ≥ 3.75 s min publish period) the spread is ≪ 10, so 128 leaves two
+//! orders of magnitude of slack while keeping per-origin state at one
+//! `u128` + two `u64`s. Sequence numbers that fall *below* the window
+//! are treated as duplicates: suppressing a very late straggler is
+//! always safe (at-least-once has already been satisfied by a younger
+//! copy or the origin re-sent it), whereas delivering it could violate
+//! the zero-duplicate contract.
+//!
+//! Origin count is bounded too ([`DedupWindow::new`]): when full, the
+//! least-recently-touched origin is evicted (deterministic tie-break on
+//! origin id), so a broker tracking millions of publishers stays at a
+//! fixed memory ceiling.
+
+use crate::packet::PacketSeq;
+use std::collections::BTreeMap;
+
+/// Width of the per-origin bitmap: how many sequence numbers below the
+/// highest-seen are individually tracked.
+pub const SEQ_WINDOW: u64 = 128;
+
+/// What a [`DedupWindow::observe`] call concluded about a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeqVerdict {
+    /// First sighting — deliver it.
+    Fresh,
+    /// Already admitted (or below the window) — suppress, ack positively.
+    Duplicate,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct OriginWindow {
+    /// Highest sequence number admitted from this origin.
+    high: u64,
+    /// Bit `i` set ⇔ sequence `high - 1 - i` was admitted.
+    below: u128,
+    /// Monotone touch stamp for least-recently-used eviction.
+    touched: u64,
+}
+
+/// A bounded, deterministic duplicate detector keyed on
+/// [`PacketSeq`]. Unsequenced packets ([`PacketSeq::NONE`]) bypass it:
+/// legacy traffic keeps pre-chaos semantics.
+#[derive(Clone, Debug)]
+pub struct DedupWindow {
+    origins: BTreeMap<u64, OriginWindow>,
+    max_origins: usize,
+    touch: u64,
+    suppressed: u64,
+    admitted: u64,
+}
+
+impl DedupWindow {
+    /// A window tracking at most `max_origins` publishers (≥ 1).
+    pub fn new(max_origins: usize) -> Self {
+        DedupWindow {
+            origins: BTreeMap::new(),
+            max_origins: max_origins.max(1),
+            touch: 0,
+            suppressed: 0,
+            admitted: 0,
+        }
+    }
+
+    /// Pure lookup: would [`DedupWindow::observe`] call this a
+    /// duplicate? Mutates nothing — callers that must interleave other
+    /// checks (e.g. capacity) between the verdict and the recording use
+    /// this first and `observe` only on commit.
+    pub fn seen(&self, seq: PacketSeq) -> bool {
+        if !seq.is_some() {
+            return false;
+        }
+        match self.origins.get(&seq.origin) {
+            None => false,
+            Some(w) => {
+                if seq.n > w.high {
+                    false
+                } else if seq.n == w.high {
+                    true
+                } else {
+                    let gap = w.high - seq.n - 1;
+                    gap >= SEQ_WINDOW || w.below & (1u128 << gap) != 0
+                }
+            }
+        }
+    }
+
+    /// Classifies one packet and records it. Exactly-once filtering on
+    /// an at-least-once stream: the first copy of each `(origin, n)` is
+    /// `Fresh`, every later copy `Duplicate`.
+    pub fn observe(&mut self, seq: PacketSeq) -> SeqVerdict {
+        if !seq.is_some() {
+            // Legacy/unsequenced traffic is never suppressed.
+            return SeqVerdict::Fresh;
+        }
+        self.touch += 1;
+        let stamp = self.touch;
+        let verdict = match self.origins.get_mut(&seq.origin) {
+            None => {
+                self.evict_to_fit();
+                self.origins.insert(
+                    seq.origin,
+                    OriginWindow {
+                        high: seq.n,
+                        below: 0,
+                        touched: stamp,
+                    },
+                );
+                SeqVerdict::Fresh
+            }
+            Some(win) => {
+                win.touched = stamp;
+                if seq.n == win.high {
+                    SeqVerdict::Duplicate
+                } else if seq.n > win.high {
+                    let shift = seq.n - win.high;
+                    win.below = if shift >= SEQ_WINDOW {
+                        0
+                    } else {
+                        win.below << shift
+                    };
+                    if shift - 1 < SEQ_WINDOW {
+                        win.below |= 1u128 << (shift - 1);
+                    }
+                    win.high = seq.n;
+                    SeqVerdict::Fresh
+                } else {
+                    let gap = win.high - seq.n - 1;
+                    if gap >= SEQ_WINDOW {
+                        // Below the window: suppressing is always safe.
+                        SeqVerdict::Duplicate
+                    } else if win.below & (1u128 << gap) != 0 {
+                        SeqVerdict::Duplicate
+                    } else {
+                        win.below |= 1u128 << gap;
+                        SeqVerdict::Fresh
+                    }
+                }
+            }
+        };
+        match verdict {
+            SeqVerdict::Fresh => self.admitted += 1,
+            SeqVerdict::Duplicate => self.suppressed += 1,
+        }
+        verdict
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.origins.len() >= self.max_origins {
+            let victim = self
+                .origins
+                .iter()
+                .min_by_key(|(origin, w)| (w.touched, **origin))
+                .map(|(origin, _)| *origin);
+            match victim {
+                Some(o) => {
+                    self.origins.remove(&o);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Sequenced packets admitted as fresh.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Duplicate copies suppressed.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Origins currently tracked.
+    pub fn origins(&self) -> usize {
+        self.origins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(origin: u64, n: u64) -> PacketSeq {
+        PacketSeq::new(origin, n)
+    }
+
+    #[test]
+    fn first_copy_fresh_every_later_copy_duplicate() {
+        let mut w = DedupWindow::new(16);
+        assert_eq!(w.observe(seq(1, 1)), SeqVerdict::Fresh);
+        assert_eq!(w.observe(seq(1, 1)), SeqVerdict::Duplicate);
+        assert_eq!(w.observe(seq(1, 2)), SeqVerdict::Fresh);
+        assert_eq!(w.observe(seq(1, 1)), SeqVerdict::Duplicate);
+        assert_eq!(w.observe(seq(1, 2)), SeqVerdict::Duplicate);
+        assert_eq!((w.admitted(), w.suppressed()), (2, 3));
+    }
+
+    #[test]
+    fn reordered_arrivals_within_the_window_stay_fresh_once() {
+        let mut w = DedupWindow::new(16);
+        // Arrive 5, 3, 4, 3, 5, 1 — each n fresh exactly once.
+        assert_eq!(w.observe(seq(9, 5)), SeqVerdict::Fresh);
+        assert_eq!(w.observe(seq(9, 3)), SeqVerdict::Fresh);
+        assert_eq!(w.observe(seq(9, 4)), SeqVerdict::Fresh);
+        assert_eq!(w.observe(seq(9, 3)), SeqVerdict::Duplicate);
+        assert_eq!(w.observe(seq(9, 5)), SeqVerdict::Duplicate);
+        assert_eq!(w.observe(seq(9, 1)), SeqVerdict::Fresh);
+    }
+
+    #[test]
+    fn below_window_stragglers_are_suppressed_not_delivered() {
+        let mut w = DedupWindow::new(4);
+        assert_eq!(w.observe(seq(2, 1_000)), SeqVerdict::Fresh);
+        // 1_000 - 1 - gap >= window ⇒ too old to track individually.
+        assert_eq!(
+            w.observe(seq(2, 1_000 - SEQ_WINDOW - 1)),
+            SeqVerdict::Duplicate
+        );
+        // Just inside the window is still individually tracked.
+        assert_eq!(w.observe(seq(2, 1_000 - SEQ_WINDOW)), SeqVerdict::Fresh);
+    }
+
+    #[test]
+    fn big_forward_jumps_clear_the_bitmap_safely() {
+        let mut w = DedupWindow::new(4);
+        assert_eq!(w.observe(seq(3, 1)), SeqVerdict::Fresh);
+        assert_eq!(w.observe(seq(3, 1 + 10 * SEQ_WINDOW)), SeqVerdict::Fresh);
+        // The old high fell below the window ⇒ duplicate by policy.
+        assert_eq!(w.observe(seq(3, 1)), SeqVerdict::Duplicate);
+    }
+
+    #[test]
+    fn origin_eviction_is_lru_and_bounded() {
+        let mut w = DedupWindow::new(2);
+        w.observe(seq(10, 1));
+        w.observe(seq(20, 1));
+        w.observe(seq(10, 2)); // touch 10 so 20 is the LRU
+        w.observe(seq(30, 1)); // evicts 20
+        assert_eq!(w.origins(), 2);
+        // 20 was forgotten: its old seq reads as fresh again (bounded
+        // memory trades exactness for forgotten origins only). This
+        // re-admission in turn evicts 10, now the LRU.
+        assert_eq!(w.observe(seq(20, 1)), SeqVerdict::Fresh);
+        assert_eq!(w.origins(), 2);
+        // 30 survived both evictions: still exact.
+        assert_eq!(w.observe(seq(30, 1)), SeqVerdict::Duplicate);
+    }
+
+    #[test]
+    fn unsequenced_traffic_bypasses_dedup() {
+        let mut w = DedupWindow::new(2);
+        for _ in 0..5 {
+            assert_eq!(w.observe(PacketSeq::NONE), SeqVerdict::Fresh);
+        }
+        assert_eq!(w.origins(), 0);
+        assert_eq!(w.suppressed(), 0);
+    }
+}

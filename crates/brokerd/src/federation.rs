@@ -45,6 +45,10 @@ pub struct LoadDigest {
     /// Gossip-plane trace context (minted per digest by the emitting
     /// broker; [`TraceCtx::NONE`] for hand-built digests).
     pub trace: TraceCtx,
+    /// Anti-entropy fingerprint of the sender's subscription table at
+    /// digest time (see `BrokerNode::table_digest`); `0` for
+    /// hand-built digests.
+    pub table_digest: u64,
 }
 
 /// What a peer looks like from here.
@@ -172,6 +176,7 @@ mod tests {
             subscriptions: 0,
             at: SimTime::from_secs(at),
             trace: TraceCtx::NONE,
+            table_digest: 0,
         }
     }
 

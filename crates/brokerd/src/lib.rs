@@ -41,6 +41,7 @@
 
 pub mod admission;
 pub mod cell;
+pub mod dedup;
 pub mod federation;
 pub mod fleet;
 pub mod net;
@@ -51,9 +52,13 @@ pub mod wire;
 
 pub use admission::{AdmissionStats, BrokerError};
 pub use cell::FederatedCell;
+pub use dedup::{DedupWindow, SeqVerdict, SEQ_WINDOW};
 pub use federation::{qos_score, LoadDigest, PeerStat, PeerView};
-pub use fleet::{fault_edges, run_fleet, run_fleet_profiled, FleetConfig, FleetEvent, FleetOutcome};
-pub use node::{BrokerNode, Effect, NodeConfig, NodeStats};
-pub use packet::{BrokerId, ContextPacket, PacketError, MAX_HOPS};
+pub use fleet::{
+    fault_edges, link_faults, link_label, restart_edges, run_fleet, run_fleet_profiled,
+    FleetConfig, FleetEvent, FleetOutcome,
+};
+pub use node::{Admitted, BrokerNode, DirEntry, Effect, NodeConfig, NodeStats};
+pub use packet::{BrokerId, ContextPacket, PacketError, PacketSeq, MAX_HOPS};
 pub use table::{SubId, SubMode, Subscription, SubscriptionTable, SweepStats};
 pub use wire::{pct_decode, pct_encode, Request, Response, WireError, MAX_FRAME_BYTES};

@@ -16,13 +16,13 @@
 //! lookups all evaluate against that clock — time advances exactly when
 //! clients say it does, which also makes the smoke test reproducible.
 
-use crate::node::{BrokerNode, Effect, NodeConfig};
+use crate::node::{Admitted, BrokerNode, Effect, NodeConfig};
 use crate::packet::{BrokerId, ContextPacket};
 use crate::table::SubId;
 use crate::wire::{Request, Response, WireError, MAX_FRAME_BYTES};
 use simkit::SimTime;
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -31,6 +31,17 @@ use std::thread::JoinHandle;
 
 /// The pseudo-subscription id `FETCH` results are delivered under.
 pub const FETCH_SUB: SubId = SubId(u64::MAX);
+
+/// Per-poll socket read timeout. Not a wall-clock *read* — it bounds
+/// how long one blocking `read` may park the session thread, so a dead
+/// peer can never hang the reader forever and `stop` is honoured even
+/// on idle sessions.
+pub const READ_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// Idle polls a session tolerates *mid-frame* before declaring the
+/// connection lost: a peer that starts a frame and then stalls holds
+/// reader-side state for at most `MIDFRAME_PATIENCE × READ_TIMEOUT`.
+pub const MIDFRAME_PATIENCE: u32 = 100;
 
 /// Most trace summaries one `TRACE` response will carry, regardless of
 /// the requested limit (keeps the response inside one frame).
@@ -149,23 +160,28 @@ impl Drop for BrokerServer {
 }
 
 /// Publishes a forwarded packet into this server's node and pumps the
-/// resulting effects. Hop guards bound the recursion.
-fn accept_forward(shared: &Arc<Shared>, packet: ContextPacket, now: SimTime) {
+/// resulting effects. Hop guards bound the recursion. Returns whether
+/// the peer accepted the packet (fresh *or* duplicate — idempotent
+/// at-least-once acks both).
+fn accept_forward(shared: &Arc<Shared>, packet: ContextPacket, now: SimTime) -> bool {
     let now = shared.advance(now);
-    let admitted = lock(&shared.node).publish(packet, now).is_ok();
-    if admitted {
+    let outcome = lock(&shared.node).publish(packet, now);
+    if matches!(outcome, Ok(Admitted::Fresh)) {
         pump(shared, now);
     }
+    outcome.is_ok()
 }
 
-/// Drains the node and routes every effect: deliveries to local session
-/// writers, forwards to federated peers.
+/// Drains the node, re-fires due forward retries and routes every
+/// effect: deliveries to local session writers, forwards to federated
+/// peers (self-acked on synchronous success).
 fn pump(shared: &Arc<Shared>, now: SimTime) {
     loop {
         let effects = {
             let mut node = lock(&shared.node);
             let mut effects = node.drain(now);
             effects.extend(node.periodic_fire(now));
+            effects.extend(node.fwd_retries_due(now));
             effects
         };
         if effects.is_empty() {
@@ -187,10 +203,19 @@ fn pump(shared: &Arc<Shared>, now: SimTime) {
                         }
                     }
                 }
-                Effect::Forward { to, packet } => {
+                Effect::Forward { to, packet, fwd_id } => {
                     let peer = lock(&shared.peers).get(&to).and_then(Weak::upgrade);
-                    if let Some(peer) = peer {
-                        accept_forward(&peer, packet, now);
+                    match peer {
+                        Some(peer) => {
+                            // In-process federation is synchronous: a
+                            // successful publish *is* the ack. A shed
+                            // or a vanished peer leaves the pending
+                            // entry to re-fire on a later pump.
+                            if accept_forward(&peer, packet, now) && fwd_id != 0 {
+                                lock(&shared.node).fwd_ack(fwd_id);
+                            }
+                        }
+                        None => {}
                     }
                 }
             }
@@ -204,7 +229,11 @@ fn handle_request(shared: &Arc<Shared>, session: u64, req: Request) -> Response 
         Request::Pub(packet) => {
             let now = shared.advance(packet.published_at);
             match lock(&shared.node).publish(packet, now) {
-                Ok(()) => Response::Ok("pub".into()),
+                Ok(Admitted::Fresh) => Response::Ok("pub".into()),
+                // A duplicate is a *positive* ack — the at-least-once
+                // sender must stop retrying — but distinguishable so
+                // clients can count suppressions.
+                Ok(Admitted::Duplicate) => Response::Ok("dup".into()),
                 Err(e) => Response::Err {
                     code: error_code(&e).into(),
                     detail: e.to_string(),
@@ -276,6 +305,8 @@ fn error_code(e: &crate::admission::BrokerError) -> &'static str {
         E::ExpiredOnArrival => "expired",
         E::SourceBlocked(_) => "blocked",
         E::BrokerDown => "down",
+        E::RetryExhausted { .. } => "retry_exhausted",
+        E::PeerUnreachable(_) => "peer_unreachable",
         E::NoSuchContext(_) => "not_found",
     }
 }
@@ -290,32 +321,75 @@ enum FrameRead {
         /// Bytes observed before the line ended.
         len: usize,
     },
-    /// The peer disconnected.
+    /// The peer disconnected cleanly, at a frame boundary.
     Eof,
+    /// A read timed out with nothing buffered: the session is idle.
+    /// The caller polls its stop flag and comes back.
+    Idle,
+    /// The transport died with a frame half-read (disconnect or stall
+    /// mid-line): a typed [`WireError::ConnLost`], never a hang.
+    Lost(WireError),
 }
 
 /// Reads one newline-terminated frame with a hard byte cap: a hostile
 /// client sending an endless line costs at most one cap-sized buffer,
-/// not unbounded memory.
+/// not unbounded memory. The socket carries [`READ_TIMEOUT`], so a
+/// frame may arrive across several polls; partial bytes accumulate
+/// until the newline, a clean idle timeout reports [`FrameRead::Idle`],
+/// and a peer that dies (or stalls past [`MIDFRAME_PATIENCE`]) with a
+/// frame half-read yields a typed loss instead of blocking forever.
 fn read_frame(reader: &mut BufReader<TcpStream>) -> FrameRead {
     let cap = (MAX_FRAME_BYTES + 2) as u64;
     let mut line = String::new();
-    let mut total = 0usize;
+    let mut drained = 0usize;
     let mut oversized = false;
+    let mut stalls = 0u32;
     loop {
-        line.clear();
-        let n = match reader.by_ref().take(cap).read_line(&mut line) {
-            Ok(0) => return FrameRead::Eof,
-            Ok(n) => n,
-            Err(_) => return FrameRead::Eof,
-        };
-        total += n;
-        let complete = line.ends_with('\n');
-        if complete || n < cap as usize {
-            // Newline found, or true EOF mid-line (read_line only stops
-            // short of the cap at a newline or EOF).
+        if oversized {
+            // Discard without buffering the whole hostile line.
+            drained += line.len();
+            line.clear();
+        }
+        let room = cap.saturating_sub(line.len() as u64).max(1);
+        match reader.by_ref().take(room).read_line(&mut line) {
+            Ok(0) => {
+                // EOF: clean only at a frame boundary.
+                return if line.is_empty() && !oversized {
+                    FrameRead::Eof
+                } else {
+                    FrameRead::Lost(WireError::ConnLost {
+                        partial: drained + line.len(),
+                        detail: "eof".into(),
+                    })
+                };
+            }
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if line.is_empty() && !oversized {
+                    return FrameRead::Idle;
+                }
+                stalls += 1;
+                if stalls >= MIDFRAME_PATIENCE {
+                    return FrameRead::Lost(WireError::ConnLost {
+                        partial: drained + line.len(),
+                        detail: "stalled mid-frame".into(),
+                    });
+                }
+                continue;
+            }
+            Err(e) => {
+                return FrameRead::Lost(WireError::ConnLost {
+                    partial: drained + line.len(),
+                    detail: e.kind().to_string(),
+                });
+            }
+        }
+        stalls = 0;
+        if line.ends_with('\n') {
             return if oversized {
-                FrameRead::Oversized { len: total }
+                FrameRead::Oversized {
+                    len: drained + line.len(),
+                }
             } else {
                 while line.ends_with('\n') || line.ends_with('\r') {
                     line.pop();
@@ -323,8 +397,11 @@ fn read_frame(reader: &mut BufReader<TcpStream>) -> FrameRead {
                 FrameRead::Line(std::mem::take(&mut line))
             };
         }
-        // Cap hit mid-line: remember, and keep draining to the newline.
-        oversized = true;
+        if line.len() as u64 >= cap {
+            // Cap hit mid-line: remember, keep draining to the newline.
+            oversized = true;
+        }
+        // Otherwise: partial frame buffered; poll for the rest.
     }
 }
 
@@ -332,6 +409,9 @@ fn serve_session(shared: &Arc<Shared>, stream: TcpStream, session: u64) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    // Bounded blocking reads: a dead or stalled peer can park this
+    // thread for at most one poll interval before control returns.
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let (tx, rx) = mpsc::channel::<String>();
     lock(&shared.sessions).insert(session, tx.clone());
     let writer = std::thread::spawn(move || {
@@ -348,6 +428,25 @@ fn serve_session(shared: &Arc<Shared>, stream: TcpStream, session: u64) {
     loop {
         let line = match read_frame(&mut reader) {
             FrameRead::Eof => break,
+            FrameRead::Idle => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            FrameRead::Lost(e) => {
+                // Typed, not hung: tell the peer if it can still hear,
+                // then end the session — nothing sane follows half a
+                // frame.
+                let refusal = Response::Err {
+                    code: e.code().into(),
+                    detail: e.to_string(),
+                };
+                if let Ok(encoded) = refusal.encode() {
+                    let _ = tx.send(encoded);
+                }
+                break;
+            }
             FrameRead::Oversized { len } => {
                 let e = WireError::Oversized { len };
                 let refusal = Response::Err {
@@ -509,6 +608,98 @@ mod tests {
         // The session survives and keeps serving well-formed frames.
         c.send(&Request::Ping(secs(5)));
         assert_eq!(c.recv(), Response::Pong(secs(5)));
+    }
+
+    /// A raw loopback socket pair: `(server side, client side)`.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_a_typed_conn_lost_not_a_hang() {
+        let (server, mut client) = socket_pair();
+        server.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        let mut reader = BufReader::new(server);
+        // Half a frame, then the peer dies.
+        client.write_all(b"PUB wind 7").unwrap();
+        client.flush().unwrap();
+        drop(client);
+        match read_frame(&mut reader) {
+            FrameRead::Lost(WireError::ConnLost { partial, detail }) => {
+                assert_eq!(partial, 10);
+                assert_eq!(detail, "eof");
+            }
+            FrameRead::Line(l) => panic!("half frame surfaced as a line: {l:?}"),
+            _ => panic!("expected ConnLost"),
+        }
+    }
+
+    #[test]
+    fn clean_disconnect_at_a_frame_boundary_is_eof() {
+        let (server, mut client) = socket_pair();
+        server.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        let mut reader = BufReader::new(server);
+        client.write_all(b"PING 5\n").unwrap();
+        drop(client);
+        assert!(matches!(read_frame(&mut reader), FrameRead::Line(l) if l == "PING 5"));
+        assert!(matches!(read_frame(&mut reader), FrameRead::Eof));
+    }
+
+    #[test]
+    fn idle_read_times_out_into_a_poll_not_a_block() {
+        let (server, client) = socket_pair();
+        server.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        let mut reader = BufReader::new(server);
+        // No bytes at all: the read returns (Idle) instead of parking
+        // the thread until the peer speaks.
+        assert!(matches!(read_frame(&mut reader), FrameRead::Idle));
+        // A frame arriving across two writes is reassembled.
+        let mut client = client;
+        client.write_all(b"PING ").unwrap();
+        client.flush().unwrap();
+        client.write_all(b"9\n").unwrap();
+        client.flush().unwrap();
+        loop {
+            match read_frame(&mut reader) {
+                FrameRead::Idle => continue,
+                FrameRead::Line(l) => {
+                    assert_eq!(l, "PING 9");
+                    break;
+                }
+                other => panic!("unexpected: {:?}", std::mem::discriminant(&other)),
+            }
+        }
+    }
+
+    #[test]
+    fn session_survives_a_peer_dying_mid_frame() {
+        let server = BrokerServer::spawn(BrokerId(9), NodeConfig::default()).unwrap();
+        // One client dies mid-frame…
+        {
+            let mut dying = Client::connect(server.addr());
+            dying.stream.write_all(b"PUB win").unwrap();
+            dying.stream.flush().unwrap();
+        }
+        // …and the server keeps serving fresh sessions.
+        let mut c = Client::connect(server.addr());
+        c.send(&Request::Ping(secs(4)));
+        assert_eq!(c.recv(), Response::Pong(secs(4)));
+    }
+
+    #[test]
+    fn duplicate_publishes_answer_dup_over_the_wire() {
+        let server = BrokerServer::spawn(BrokerId(3), NodeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr());
+        let packet = ContextPacket::new("t", 1, secs(2), SimDuration::from_secs(60), "s")
+            .with_seq(crate::packet::PacketSeq::new(4, 1));
+        c.send(&Request::Pub(packet.clone()));
+        assert_eq!(c.recv(), Response::Ok("pub".into()));
+        c.send(&Request::Pub(packet));
+        assert_eq!(c.recv(), Response::Ok("dup".into()));
     }
 
     #[test]

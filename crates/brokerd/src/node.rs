@@ -21,12 +21,13 @@
 //! workers may own brokers on any thread.
 
 use crate::admission::{AdmissionStats, BrokerError};
+use crate::dedup::DedupWindow;
 use crate::federation::{LoadDigest, PeerView};
 use crate::packet::{BrokerId, ContextPacket, MAX_HOPS};
 use crate::table::{SubId, SubMode, SubscriptionTable, SweepStats};
 use contory::vocab::{Interner, Sym};
-use simkit::SimTime;
-use std::collections::{BTreeSet, VecDeque};
+use simkit::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use tracekit::{Stage, TraceCtx, TraceLog};
 
 /// Broker tunables.
@@ -42,6 +43,13 @@ pub struct NodeConfig {
     /// Gossip-plane trace sampling: one digest trace in
     /// `2^trace_sample_log2` is sampled (`0` ⇒ every digest).
     pub trace_sample_log2: u32,
+    /// Publisher origins tracked by the dedup window (LRU-bounded).
+    pub dedup_origins: usize,
+    /// Ack timeout before a tracked federation forward is re-sent.
+    pub fwd_timeout: SimDuration,
+    /// Maximum re-sends of one forward after the initial attempt.
+    /// `0` disables the retry machinery (legacy fire-and-forget).
+    pub fwd_attempts: u32,
 }
 
 impl Default for NodeConfig {
@@ -51,8 +59,54 @@ impl Default for NodeConfig {
             inbox_capacity: 64,
             drain_budget: 16,
             trace_sample_log2: 3,
+            dedup_origins: 4096,
+            fwd_timeout: SimDuration::from_millis(150),
+            fwd_attempts: 0,
         }
     }
+}
+
+/// What admission concluded about an accepted publish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admitted {
+    /// First sighting: enqueued for fan-out.
+    Fresh,
+    /// The dedup window had already seen this [`PacketSeq`]: suppressed,
+    /// but positively acknowledged so at-least-once senders stop
+    /// retrying.
+    ///
+    /// [`PacketSeq`]: crate::packet::PacketSeq
+    Duplicate,
+}
+
+/// A broker's durable view of one peer's subscription table, built from
+/// anti-entropy digests carried on the gossip plane.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Logical version: emission time (µs) of the digest that carried
+    /// this entry. Stale gossip never regresses it.
+    pub version: u64,
+    /// The peer's subscription-table digest at `version`.
+    pub table_digest: u64,
+    /// The peer's live subscription count at `version`.
+    pub subscriptions: u64,
+}
+
+/// A federation forward awaiting its ack.
+#[derive(Clone, Debug)]
+struct PendingFwd {
+    to: BrokerId,
+    packet: ContextPacket,
+    attempts_used: u32,
+    next_retry: SimTime,
+}
+
+/// Deterministic 64-bit mixer for retry jitter (no RNG in the core).
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A side effect the harness must carry out.
@@ -73,6 +127,10 @@ pub enum Effect {
         to: BrokerId,
         /// The packet, with this broker appended to its hop list.
         packet: ContextPacket,
+        /// Retry-tracking handle: non-zero when the sender expects a
+        /// [`BrokerNode::fwd_ack`] and will re-send on timeout; `0` for
+        /// untracked (fire-and-forget) forwards.
+        fwd_id: u64,
     },
 }
 
@@ -95,6 +153,17 @@ pub struct NodeStats {
     pub gossip_sent: u64,
     /// Gossip digests heard and absorbed from peers.
     pub gossip_heard: u64,
+    /// Duplicate publishes suppressed by the dedup window.
+    pub dedup_suppressed: u64,
+    /// Federation forwards re-sent after an ack timeout.
+    pub retries: u64,
+    /// Forwards abandoned after the retry budget ran out.
+    pub retry_exhausted: u64,
+    /// Lease renewals ([`BrokerNode::subscribe_renewing`] calls).
+    pub resubscriptions: u64,
+    /// Anti-entropy directory reconciliations (heard digests that
+    /// changed this broker's view of a peer's table).
+    pub anti_entropy_rounds: u64,
 }
 
 /// A federated context broker, as pure state + transitions.
@@ -109,12 +178,17 @@ pub struct BrokerNode {
     blocked: BTreeSet<String>,
     stats: NodeStats,
     trace: TraceLog,
+    dedup: DedupWindow,
+    pending_fwds: BTreeMap<u64, PendingFwd>,
+    next_fwd_id: u64,
+    directory: BTreeMap<BrokerId, DirEntry>,
 }
 
 impl BrokerNode {
     /// Creates a broker.
     pub fn new(id: BrokerId, cfg: NodeConfig) -> Self {
         let table = SubscriptionTable::new(cfg.table_shards);
+        let dedup = DedupWindow::new(cfg.dedup_origins);
         BrokerNode {
             id,
             cfg,
@@ -125,6 +199,10 @@ impl BrokerNode {
             blocked: BTreeSet::new(),
             stats: NodeStats::default(),
             trace: TraceLog::new(),
+            dedup,
+            pending_fwds: BTreeMap::new(),
+            next_fwd_id: 1,
+            directory: BTreeMap::new(),
         }
     }
 
@@ -203,10 +281,16 @@ impl BrokerNode {
         reg.counter_add("broker_packets_expired_total", s.packets_expired);
         reg.counter_add("broker_gossip_sent_total", s.gossip_sent);
         reg.counter_add("broker_gossip_heard_total", s.gossip_heard);
+        reg.counter_add("broker_dedup_suppressed_total", s.dedup_suppressed);
+        reg.counter_add("broker_fwd_retries_total", s.retries);
+        reg.counter_add("broker_retry_exhausted_total", s.retry_exhausted);
+        reg.counter_add("broker_resubscriptions_total", s.resubscriptions);
+        reg.counter_add("broker_anti_entropy_total", s.anti_entropy_rounds);
         reg.counter_add("broker_trace_spans_total", self.trace.len() as u64);
         reg.gauge_set("broker_queue_depth", self.inbox.len() as f64);
         reg.gauge_set("broker_live_subscriptions", self.table.len() as f64);
         reg.gauge_set("broker_federation_peers", self.peers.len() as f64);
+        reg.gauge_set("broker_pending_forwards", self.pending_fwds.len() as f64);
         reg
     }
 
@@ -260,18 +344,48 @@ impl BrokerNode {
         self.table.subscribe(subscriber, sym, mode, expires_at, now)
     }
 
+    /// Lease renewal: extends an existing subscription for the same
+    /// `(subscriber, type, mode)` or — when the broker lost it (crash
+    /// restart, expiry) — re-registers it. Returns the live handle and
+    /// whether an existing lease was extended. Unlike
+    /// [`BrokerNode::subscribe`], this never stacks a second identical
+    /// subscription, so periodic re-subscription is idempotent.
+    pub fn subscribe_renewing(
+        &mut self,
+        subscriber: u64,
+        type_name: &str,
+        mode: SubMode,
+        expires_at: SimTime,
+        now: SimTime,
+    ) -> (SubId, bool) {
+        let sym = self.interner.intern(type_name);
+        let (id, renewed) = self
+            .table
+            .renew_or_subscribe(subscriber, sym, mode, expires_at, now);
+        self.stats.resubscriptions += 1;
+        obskit::count("broker_resubscribed", 1);
+        (id, renewed)
+    }
+
     /// Cancels a subscription.
     pub fn unsubscribe(&mut self, id: SubId) -> bool {
         self.table.unsubscribe(id)
     }
 
-    /// Admission: vets the hygiene contract and the bounded inbox, then
-    /// enqueues. Effects flow later, from [`BrokerNode::drain`].
-    pub fn publish(&mut self, mut packet: ContextPacket, now: SimTime) -> Result<(), BrokerError> {
+    /// Admission: vets the hygiene contract, the dedup window and the
+    /// bounded inbox, then enqueues. Effects flow later, from
+    /// [`BrokerNode::drain`]. Duplicates are suppressed *and*
+    /// positively acknowledged (`Ok(Admitted::Duplicate)`) — refusing
+    /// them would make at-least-once senders retry forever.
+    pub fn publish(
+        &mut self,
+        mut packet: ContextPacket,
+        now: SimTime,
+    ) -> Result<Admitted, BrokerError> {
         let span = obskit::start(obskit::Phase::Admission, "publish", None, now);
         let outcome = self.admit(&mut packet, now);
         match &outcome {
-            Ok(()) => {
+            Ok(Admitted::Fresh) => {
                 self.stats.admission.admitted += 1;
                 obskit::count("broker_admitted", 1);
                 let node = self.trace_node();
@@ -288,6 +402,13 @@ impl BrokerNode {
                 obskit::gauge("broker_queue_depth", (self.inbox.len() + 1) as f64);
                 self.inbox.push_back(packet);
             }
+            Ok(Admitted::Duplicate) => {
+                self.stats.dedup_suppressed += 1;
+                obskit::count("broker_dedup_suppressed", 1);
+                let node = self.trace_node();
+                let sp = self.trace.record(packet.trace, Stage::DupSuppress, node, now);
+                self.obs_hop(packet.trace, Stage::DupSuppress, sp, now);
+            }
             Err(e) => {
                 let node = self.trace_node();
                 let shed = self.trace.record(packet.trace, Stage::Shed, node, now);
@@ -299,7 +420,7 @@ impl BrokerNode {
         outcome
     }
 
-    fn admit(&mut self, packet: &mut ContextPacket, now: SimTime) -> Result<(), BrokerError> {
+    fn admit(&mut self, packet: &mut ContextPacket, now: SimTime) -> Result<Admitted, BrokerError> {
         if !packet.is_attributed() {
             return Err(BrokerError::Unattributed);
         }
@@ -309,13 +430,23 @@ impl BrokerNode {
         if self.blocked.contains(&packet.source) {
             return Err(BrokerError::SourceBlocked(packet.source.clone()));
         }
+        // The duplicate check runs before the capacity check — a
+        // duplicate must be ackable even under backpressure — but the
+        // window only *records* the packet once it is actually
+        // enqueued, so a shed packet's retry is not mistaken for a
+        // duplicate.
+        if self.dedup.seen(packet.seq) {
+            let _ = self.dedup.observe(packet.seq);
+            return Ok(Admitted::Duplicate);
+        }
         if self.inbox.len() >= self.cfg.inbox_capacity {
             return Err(BrokerError::QueueFull {
                 capacity: self.cfg.inbox_capacity,
             });
         }
+        let _ = self.dedup.observe(packet.seq);
         packet.cxt_type = self.interner.intern(&packet.type_name);
-        Ok(())
+        Ok(Admitted::Fresh)
     }
 
     fn note_refusal(&mut self, e: &BrokerError) {
@@ -336,7 +467,13 @@ impl BrokerNode {
                 self.stats.admission.blocked += 1;
                 obskit::count("broker_source_blocked", 1);
             }
-            BrokerError::BrokerDown | BrokerError::NoSuchContext(_) => {}
+            BrokerError::RetryExhausted { .. } => {
+                self.stats.retry_exhausted += 1;
+                obskit::count("broker_retry_exhausted", 1);
+            }
+            BrokerError::BrokerDown
+            | BrokerError::PeerUnreachable(_)
+            | BrokerError::NoSuchContext(_) => {}
         }
     }
 
@@ -402,13 +539,102 @@ impl BrokerNode {
                 if fed != 0 {
                     forward.trace = forward.trace.hopped(fed);
                 }
+                // Only sequenced packets are retry-tracked: re-sending
+                // an unsequenced packet could double-deliver (no dedup
+                // key), so legacy traffic stays fire-and-forget.
+                let fwd_id = if self.cfg.fwd_attempts > 0 && forward.seq.is_some() {
+                    let id = self.next_fwd_id;
+                    self.next_fwd_id += 1;
+                    self.pending_fwds.insert(
+                        id,
+                        PendingFwd {
+                            to: peer,
+                            packet: forward.clone(),
+                            attempts_used: 0,
+                            next_retry: now + self.cfg.fwd_timeout,
+                        },
+                    );
+                    obskit::gauge("broker_pending_forwards", self.pending_fwds.len() as f64);
+                    id
+                } else {
+                    0
+                };
                 effects.push(Effect::Forward {
                     to: peer,
                     packet: forward,
+                    fwd_id,
                 });
             }
         }
         self.table.retain(packet);
+    }
+
+    /// Acknowledges a tracked forward: the peer admitted (or
+    /// dup-suppressed) the packet, so its retry entry is retired.
+    /// Returns whether the id was still pending. Acks for `0` (an
+    /// untracked forward) and unknown/duplicate ids are no-ops — acks
+    /// ride chaos links too and may themselves be duplicated.
+    pub fn fwd_ack(&mut self, fwd_id: u64) -> bool {
+        if fwd_id == 0 {
+            return false;
+        }
+        let was = self.pending_fwds.remove(&fwd_id).is_some();
+        if was {
+            obskit::gauge("broker_pending_forwards", self.pending_fwds.len() as f64);
+        }
+        was
+    }
+
+    /// Tracked forwards currently awaiting an ack.
+    pub fn pending_forwards(&self) -> usize {
+        self.pending_fwds.len()
+    }
+
+    /// Re-sends of tracked forwards whose ack timed out by `now`, with
+    /// capped exponential backoff and deterministic jitter (hashed from
+    /// the forward id and attempt number — no RNG in the core).
+    /// Forwards that exhausted the retry budget are dropped and counted
+    /// as [`BrokerError::RetryExhausted`].
+    pub fn fwd_retries_due(&mut self, now: SimTime) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.pending_fwds.is_empty() {
+            return effects;
+        }
+        let due: Vec<u64> = self
+            .pending_fwds
+            .iter()
+            .filter(|(_, p)| p.next_retry <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in due {
+            let Some(mut p) = self.pending_fwds.remove(&id) else {
+                continue;
+            };
+            if p.attempts_used >= self.cfg.fwd_attempts {
+                self.note_refusal(&BrokerError::RetryExhausted {
+                    attempts: p.attempts_used,
+                });
+                obskit::gauge("broker_pending_forwards", self.pending_fwds.len() as f64);
+                continue;
+            }
+            p.attempts_used += 1;
+            self.stats.retries += 1;
+            obskit::count("broker_fwd_retries", 1);
+            let node = self.trace_node();
+            let sp = self.trace.record(p.packet.trace, Stage::Retry, node, now);
+            self.obs_hop(p.packet.trace, Stage::Retry, sp, now);
+            let timeout_us = self.cfg.fwd_timeout.as_micros().max(1);
+            let backoff = timeout_us << p.attempts_used.min(4);
+            let jitter = mix(id ^ (u64::from(p.attempts_used) << 56)) % (timeout_us / 4 + 1);
+            p.next_retry = now + SimDuration::from_micros(backoff + jitter);
+            effects.push(Effect::Forward {
+                to: p.to,
+                packet: p.packet.clone(),
+                fwd_id: id,
+            });
+            self.pending_fwds.insert(id, p);
+        }
+        effects
     }
 
     /// Periodic deliveries due at `now`: each due periodic subscription
@@ -461,10 +687,15 @@ impl BrokerNode {
             subscriptions: self.table.len() as u64,
             at: now,
             trace: if span != 0 { ctx.hopped(span) } else { ctx },
+            table_digest: self.table_digest(),
         }
     }
 
-    /// Folds a heard digest into the peer view.
+    /// Folds a heard digest into the peer view and the anti-entropy
+    /// directory. Versioning is by digest emission time, so chaos-link
+    /// reordering and duplication never regress an entry — after a
+    /// partition heals, one clean gossip round per peer reconciles
+    /// every broker's view of every table.
     pub fn hear_gossip(&mut self, digest: &LoadDigest, now: SimTime) {
         if digest.broker != self.id {
             self.stats.gossip_heard += 1;
@@ -473,7 +704,70 @@ impl BrokerNode {
             let span = self.trace.record(digest.trace, Stage::Gossip, node, now);
             self.obs_hop(digest.trace, Stage::Gossip, span, now);
             self.peers.absorb(digest, now);
+            let version = digest.at.as_micros();
+            let slot = self.directory.entry(digest.broker).or_default();
+            if version > slot.version || (slot.version == 0 && version == 0) {
+                let changed = slot.version == 0 || slot.table_digest != digest.table_digest;
+                slot.version = version;
+                slot.table_digest = digest.table_digest;
+                slot.subscriptions = digest.subscriptions;
+                if changed {
+                    self.stats.anti_entropy_rounds += 1;
+                    obskit::count("broker_anti_entropy", 1);
+                }
+            }
         }
+    }
+
+    /// Order-insensitive FNV digest of the live subscription table:
+    /// folded over `(type name, subscriber, mode, expiry)` rows in
+    /// subscription-id order. Type *names* (not interner-local ids)
+    /// keep the digest comparable across brokers with different intern
+    /// orders.
+    pub fn table_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for sub in self.table.live_entries() {
+            let name = self.interner.resolve(sub.cxt_type).unwrap_or("");
+            fold(name.as_bytes());
+            fold(&sub.subscriber.to_le_bytes());
+            let (mode_tag, period) = match sub.mode {
+                SubMode::OneShot => (0u8, 0u64),
+                SubMode::Periodic(p) => (1, p.as_micros()),
+                SubMode::Event => (2, 0),
+            };
+            fold(&[mode_tag]);
+            fold(&period.to_le_bytes());
+            fold(&sub.expires_at.as_micros().to_le_bytes());
+        }
+        h
+    }
+
+    /// The anti-entropy directory: this broker's latest view of each
+    /// peer's subscription table.
+    pub fn directory(&self) -> &BTreeMap<BrokerId, DirEntry> {
+        &self.directory
+    }
+
+    /// Records the recovery hop of a crash-restarted broker. The
+    /// harness calls it on the freshly rebuilt node at the restart
+    /// instant; the trace root is minted deterministically from
+    /// `(broker, now)` like the gossip plane's. Recovery is rare and
+    /// load-bearing, so it is always sampled regardless of the
+    /// configured packet sampling rate.
+    pub fn note_recovery(&mut self, now: SimTime) {
+        obskit::count("broker_recovered", 1);
+        const RECOVER_SALT: u64 = 0x7ec0_4e7a_11fe_0000;
+        let material = RECOVER_SALT ^ (u64::from(self.id.0) << 44) ^ now.as_micros();
+        let ctx = TraceCtx::root(material, 0);
+        let node = self.trace_node();
+        let span = self.trace.record(ctx, Stage::Recover, node, now);
+        self.obs_hop(ctx, Stage::Recover, span, now);
     }
 
     /// On-demand lookup of the freshest retained context for a type
@@ -575,7 +869,7 @@ mod tests {
         let forwards: Vec<_> = effects
             .iter()
             .filter_map(|e| match e {
-                Effect::Forward { to, packet } => Some((*to, packet.clone())),
+                Effect::Forward { to, packet, .. } => Some((*to, packet.clone())),
                 _ => None,
             })
             .collect();
@@ -638,5 +932,159 @@ mod tests {
             .count();
         assert_eq!(deliveries, 1);
         assert_eq!(n.subscriptions(), 0);
+    }
+
+    #[test]
+    fn duplicate_publishes_are_suppressed_but_positively_acked() {
+        let mut n = node();
+        let seq = crate::packet::PacketSeq::new(9, 1);
+        let now = SimTime::from_secs(1);
+        assert_eq!(n.publish(pkt("t", 1).with_seq(seq), now), Ok(Admitted::Fresh));
+        assert_eq!(
+            n.publish(pkt("t", 1).with_seq(seq), now),
+            Ok(Admitted::Duplicate)
+        );
+        assert_eq!(n.stats().dedup_suppressed, 1);
+        assert_eq!(n.stats().admission.admitted, 1);
+        // Only one packet ever entered the inbox.
+        assert_eq!(n.queue_depth(), 1);
+        // Unsequenced publishes keep legacy semantics: never suppressed.
+        assert_eq!(n.publish(pkt("t", 1), now), Ok(Admitted::Fresh));
+        assert_eq!(n.publish(pkt("t", 1), now), Ok(Admitted::Fresh));
+    }
+
+    #[test]
+    fn tracked_forwards_retry_with_backoff_then_exhaust() {
+        let mut cfg = NodeConfig::default();
+        cfg.fwd_attempts = 2;
+        let mut n = BrokerNode::new(BrokerId(0), cfg);
+        n.peers_mut().introduce(BrokerId(1), 10, SimTime::ZERO);
+        let seq = crate::packet::PacketSeq::new(4, 7);
+        n.publish(pkt("t", 1).with_seq(seq), SimTime::from_secs(1)).unwrap();
+        let effects = n.drain(SimTime::from_secs(1));
+        let fwd_id = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Forward { fwd_id, .. } => Some(*fwd_id),
+                _ => None,
+            })
+            .expect("no forward");
+        assert_ne!(fwd_id, 0, "sequenced forwards must be tracked");
+        assert_eq!(n.pending_forwards(), 1);
+        // Not yet due.
+        assert!(n.fwd_retries_due(SimTime::from_secs(1)).is_empty());
+        // Due: re-send 1 and 2, then exhaustion.
+        let r1 = n.fwd_retries_due(SimTime::from_secs(10));
+        assert_eq!(r1.len(), 1);
+        let r2 = n.fwd_retries_due(SimTime::from_secs(20));
+        assert_eq!(r2.len(), 1);
+        assert!(n.fwd_retries_due(SimTime::from_secs(30)).is_empty());
+        assert_eq!(n.pending_forwards(), 0);
+        assert_eq!(n.stats().retries, 2);
+        assert_eq!(n.stats().retry_exhausted, 1);
+    }
+
+    #[test]
+    fn fwd_ack_clears_the_pending_entry() {
+        let mut cfg = NodeConfig::default();
+        cfg.fwd_attempts = 3;
+        let mut n = BrokerNode::new(BrokerId(0), cfg);
+        n.peers_mut().introduce(BrokerId(1), 10, SimTime::ZERO);
+        let seq = crate::packet::PacketSeq::new(4, 8);
+        n.publish(pkt("t", 1).with_seq(seq), SimTime::from_secs(1)).unwrap();
+        let effects = n.drain(SimTime::from_secs(1));
+        let fwd_id = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Forward { fwd_id, .. } => Some(*fwd_id),
+                _ => None,
+            })
+            .unwrap();
+        assert!(n.fwd_ack(fwd_id));
+        assert!(!n.fwd_ack(fwd_id), "double-ack must be a no-op");
+        assert_eq!(n.pending_forwards(), 0);
+        assert!(n.fwd_retries_due(SimTime::from_secs(100)).is_empty());
+        assert_eq!(n.stats().retries, 0);
+    }
+
+    #[test]
+    fn unsequenced_forwards_stay_fire_and_forget() {
+        let mut cfg = NodeConfig::default();
+        cfg.fwd_attempts = 3;
+        let mut n = BrokerNode::new(BrokerId(0), cfg);
+        n.peers_mut().introduce(BrokerId(1), 10, SimTime::ZERO);
+        n.publish(pkt("t", 1), SimTime::from_secs(1)).unwrap();
+        let effects = n.drain(SimTime::from_secs(1));
+        let fwd_id = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Forward { fwd_id, .. } => Some(*fwd_id),
+                _ => None,
+            })
+            .unwrap();
+        // Without an idempotence key a retry could double-deliver, so
+        // the retry machinery refuses to track it.
+        assert_eq!(fwd_id, 0);
+        assert_eq!(n.pending_forwards(), 0);
+    }
+
+    #[test]
+    fn anti_entropy_directory_absorbs_monotonically() {
+        let mut a = node();
+        let mut b = BrokerNode::new(BrokerId(1), NodeConfig::default());
+        a.peers_mut().introduce(BrokerId(1), 10, SimTime::ZERO);
+        b.peers_mut().introduce(BrokerId(0), 10, SimTime::ZERO);
+        b.subscribe(7, "wind", SubMode::Event, FOREVER, SimTime::ZERO);
+        let d1 = b.gossip_digest(SimTime::from_secs(1));
+        assert_eq!(d1.table_digest, b.table_digest());
+        a.hear_gossip(&d1, SimTime::from_secs(1));
+        let entry = a.directory()[&BrokerId(1)];
+        assert_eq!(entry.table_digest, b.table_digest());
+        assert_eq!(entry.subscriptions, 1);
+        assert_eq!(a.stats().anti_entropy_rounds, 1);
+        // The peer's table changes; a newer digest reconciles the view.
+        b.subscribe(8, "noise", SubMode::Event, FOREVER, SimTime::ZERO);
+        let d2 = b.gossip_digest(SimTime::from_secs(5));
+        a.hear_gossip(&d2, SimTime::from_secs(5));
+        assert_eq!(a.directory()[&BrokerId(1)].table_digest, b.table_digest());
+        assert_eq!(a.stats().anti_entropy_rounds, 2);
+        // A stale (reordered/duplicated) digest never regresses it.
+        a.hear_gossip(&d1, SimTime::from_secs(6));
+        assert_eq!(a.directory()[&BrokerId(1)].table_digest, b.table_digest());
+        assert_eq!(a.directory()[&BrokerId(1)].version, d2.at.as_micros());
+        // An unchanged-digest re-hear is not an anti-entropy round.
+        a.hear_gossip(&d2, SimTime::from_secs(7));
+        assert_eq!(a.stats().anti_entropy_rounds, 2);
+    }
+
+    #[test]
+    fn lease_renewal_survives_a_simulated_restart() {
+        let mut n = node();
+        let lease = SimTime::from_secs(100);
+        let (id1, renewed1) =
+            n.subscribe_renewing(5, "wind", SubMode::Event, lease, SimTime::ZERO);
+        assert!(!renewed1);
+        let (id2, renewed2) =
+            n.subscribe_renewing(5, "wind", SubMode::Event, SimTime::from_secs(200), SimTime::from_secs(10));
+        assert!(renewed2);
+        assert_eq!(id1, id2);
+        assert_eq!(n.subscriptions(), 1);
+        // "Restart": a fresh node has lost the table; the same renewal
+        // call re-registers instead of extending.
+        let mut fresh = node();
+        let (_, renewed3) =
+            n_renew(&mut fresh, 5, "wind", SimTime::from_secs(300), SimTime::from_secs(20));
+        assert!(!renewed3);
+        assert_eq!(fresh.subscriptions(), 1);
+    }
+
+    fn n_renew(
+        n: &mut BrokerNode,
+        subscriber: u64,
+        t: &str,
+        expires: SimTime,
+        now: SimTime,
+    ) -> (crate::table::SubId, bool) {
+        n.subscribe_renewing(subscriber, t, SubMode::Event, expires, now)
     }
 }

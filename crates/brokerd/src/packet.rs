@@ -34,6 +34,42 @@ impl fmt::Display for BrokerId {
 /// Maximum federation hops a packet may take before brokers drop it.
 pub const MAX_HOPS: usize = 3;
 
+/// End-to-end packet identity for idempotent at-least-once delivery:
+/// the publisher's stable id plus a per-publisher monotone sequence
+/// number. Retried and chaos-duplicated copies of a packet carry the
+/// same `PacketSeq`, which is what dedup windows key on.
+///
+/// [`PacketSeq::NONE`] marks legacy/unsequenced traffic — such packets
+/// bypass dedup entirely (the pre-chaos wire layout is still valid).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketSeq {
+    /// Stable publisher identity (fleet actor id, session id, …).
+    pub origin: u64,
+    /// 1-based sequence number within `origin`'s stream; 0 = unset.
+    pub n: u64,
+}
+
+impl PacketSeq {
+    /// The "unsequenced" sentinel carried by legacy traffic.
+    pub const NONE: PacketSeq = PacketSeq { origin: 0, n: 0 };
+
+    /// Builds a sequence tag; `n` must be 1-based.
+    pub fn new(origin: u64, n: u64) -> Self {
+        PacketSeq { origin, n }
+    }
+
+    /// True when the packet carries a real sequence tag.
+    pub fn is_some(self) -> bool {
+        self.n != 0
+    }
+}
+
+impl fmt::Display for PacketSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.origin, self.n)
+    }
+}
+
 /// A published context record as brokers store and forward it.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ContextPacket {
@@ -58,6 +94,9 @@ pub struct ContextPacket {
     /// a root). Sampling is decided at the root from the deterministic
     /// id material, never re-rolled per hop.
     pub trace: TraceCtx,
+    /// Idempotency tag ([`PacketSeq::NONE`] for legacy traffic).
+    /// Preserved verbatim across federation hops and retries.
+    pub seq: PacketSeq,
 }
 
 impl ContextPacket {
@@ -79,12 +118,19 @@ impl ContextPacket {
             source: source.into(),
             hops: Vec::new(),
             trace: TraceCtx::NONE,
+            seq: PacketSeq::NONE,
         }
     }
 
     /// Attaches a trace context (builder style).
     pub fn with_trace(mut self, trace: TraceCtx) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches an idempotency tag (builder style).
+    pub fn with_seq(mut self, seq: PacketSeq) -> Self {
+        self.seq = seq;
         self
     }
 

@@ -144,6 +144,54 @@ impl SubscriptionTable {
         id
     }
 
+    /// Lease renewal: if a subscription for the same `(subscriber,
+    /// type, mode)` is live, extends its expiry (never shortens it) and
+    /// returns `(existing id, true)`; otherwise registers a fresh
+    /// subscription and returns `(new id, false)`. The idempotent form
+    /// of [`SubscriptionTable::subscribe`] that periodic
+    /// re-subscription needs — calling it on a cadence never stacks
+    /// duplicate subscriptions.
+    pub fn renew_or_subscribe(
+        &mut self,
+        subscriber: u64,
+        cxt_type: Sym,
+        mode: SubMode,
+        expires_at: SimTime,
+        now: SimTime,
+    ) -> (SubId, bool) {
+        let shard = self.shard_of(cxt_type);
+        if let Some(subs) = self
+            .shards
+            .get_mut(shard)
+            .and_then(|s| s.subs.get_mut(&cxt_type))
+        {
+            for s in subs.iter_mut() {
+                if s.subscriber == subscriber && s.mode == mode && now <= s.expires_at {
+                    s.expires_at = s.expires_at.max(expires_at);
+                    return (s.id, true);
+                }
+            }
+        }
+        (
+            self.subscribe(subscriber, cxt_type, mode, expires_at, now),
+            false,
+        )
+    }
+
+    /// Every live subscription, cloned, in subscription-id order —
+    /// deterministic regardless of the internal shard count (the input
+    /// to the anti-entropy table digest).
+    pub fn live_entries(&self) -> Vec<Subscription> {
+        let mut out = Vec::with_capacity(self.live);
+        for shard in &self.shards {
+            for subs in shard.subs.values() {
+                out.extend(subs.iter().cloned());
+            }
+        }
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
     /// Removes a subscription. Returns whether it existed.
     pub fn unsubscribe(&mut self, id: SubId) -> bool {
         for shard in &mut self.shards {
@@ -376,6 +424,53 @@ mod tests {
         };
         assert_eq!(run(1), run(4));
         assert_eq!(run(1), run(16));
+    }
+
+    #[test]
+    fn renewal_extends_instead_of_stacking() {
+        let mut tab = SubscriptionTable::new(4);
+        let t = Sym(2);
+        let mode = SubMode::Periodic(SimDuration::from_secs(5));
+        let (id, renewed) =
+            tab.renew_or_subscribe(9, t, mode, SimTime::from_secs(30), SimTime::ZERO);
+        assert!(!renewed);
+        let (again, renewed) =
+            tab.renew_or_subscribe(9, t, mode, SimTime::from_secs(60), SimTime::from_secs(10));
+        assert!(renewed);
+        assert_eq!(id, again);
+        assert_eq!(tab.len(), 1);
+        // Renewal never shortens a lease.
+        tab.renew_or_subscribe(9, t, mode, SimTime::from_secs(40), SimTime::from_secs(11));
+        assert_eq!(tab.live_entries()[0].expires_at, SimTime::from_secs(60));
+        // A different mode or subscriber is a distinct lease.
+        let (other, renewed) =
+            tab.renew_or_subscribe(9, t, SubMode::Event, SimTime::from_secs(60), SimTime::ZERO);
+        assert!(!renewed);
+        assert_ne!(id, other);
+        assert_eq!(tab.len(), 2);
+        // After expiry the lease is gone: renewal re-registers.
+        tab.sweep(SimTime::from_secs(100));
+        let (fresh, renewed) =
+            tab.renew_or_subscribe(9, t, mode, SimTime::from_secs(200), SimTime::from_secs(100));
+        assert!(!renewed);
+        assert_ne!(fresh, id);
+    }
+
+    #[test]
+    fn live_entries_are_id_ordered_across_shard_counts() {
+        let fill = |shards: usize| {
+            let mut tab = SubscriptionTable::new(shards);
+            for sub in 0..17u64 {
+                tab.subscribe(sub, Sym((sub % 5) as u16), SubMode::Event, FOREVER, SimTime::ZERO);
+            }
+            tab.live_entries()
+                .iter()
+                .map(|s| (s.id, s.subscriber, s.cxt_type))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fill(1), fill(4));
+        let ids: Vec<u64> = fill(3).iter().map(|(id, _, _)| id.0).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

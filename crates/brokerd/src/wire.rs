@@ -11,7 +11,7 @@
 //! Frames:
 //!
 //! ```text
-//! PUB <type> <value_milli> <published_us> <expires_us> <source> [hops] [trace]
+//! PUB <type> <value_milli> <published_us> <expires_us> <source> [hops] [trace] [seq]
 //! SUB <type> <oneshot|periodic|event> <period_us> <expires_us> <now_us>
 //! UNSUB <sub_id>
 //! FETCH <type> <now_us>
@@ -29,7 +29,11 @@
 //! `hops` is a comma-separated broker-id list, `-` when empty. `trace`
 //! is an optional causal trace context in [`TraceCtx`] display form
 //! (`<trace16hex>.<parent>.<hop>.<s|u>`); frames without it decode to
-//! [`TraceCtx::NONE`], so pre-trace peers interoperate unchanged. The
+//! [`TraceCtx::NONE`], so pre-trace peers interoperate unchanged. `seq`
+//! is an optional idempotency tag (`<origin>:<n>`, see
+//! [`PacketSeq`]); when present the trace slot before it is always
+//! filled (`-` for untraced packets), and frames without it decode to
+//! [`PacketSeq::NONE`] so pre-chaos peers interoperate unchanged. The
 //! `STATS`/`TRACE` response payloads are free text carried as single
 //! percent-encoded tokens ([`pct_encode`]).
 //!
@@ -37,7 +41,7 @@
 //! refused before parsing, every failure is a typed [`WireError`], and
 //! no input — truncated, oversized or malformed — can panic the codec.
 
-use crate::packet::{BrokerId, ContextPacket};
+use crate::packet::{BrokerId, ContextPacket, PacketSeq};
 use crate::table::{SubId, SubMode};
 use simkit::{SimDuration, SimTime};
 use std::fmt;
@@ -142,6 +146,15 @@ pub enum WireError {
         /// What was wrong.
         detail: String,
     },
+    /// The transport died mid-frame: bytes arrived but the line never
+    /// ended before the peer disconnected (or the read gave up). The
+    /// partial frame is unusable and nothing sane can follow it.
+    ConnLost {
+        /// Bytes of the frame observed before the connection was lost.
+        partial: usize,
+        /// What ended the read (io error kind, or `eof`).
+        detail: String,
+    },
 }
 
 impl WireError {
@@ -153,6 +166,7 @@ impl WireError {
             WireError::Oversized { .. } => "oversized",
             WireError::UnknownVerb(_) => "unknown_verb",
             WireError::Malformed { .. } => "malformed",
+            WireError::ConnLost { .. } => "conn_lost",
         }
     }
 }
@@ -167,6 +181,9 @@ impl fmt::Display for WireError {
             }
             WireError::UnknownVerb(v) => write!(f, "wire error: unknown verb {v}"),
             WireError::Malformed { detail } => write!(f, "wire error: {detail}"),
+            WireError::ConnLost { partial, detail } => {
+                write!(f, "wire error: connection lost mid-frame after {partial} bytes ({detail})")
+            }
         }
     }
 }
@@ -303,14 +320,20 @@ fn decode_packet(parts: &[&str], at: usize) -> Result<ContextPacket, WireError> 
     }
     let source = token(parts, at + 4, "source")?;
     let hops = decode_hops(&token(parts, at + 5, "hops").unwrap_or_else(|_| "-".into()))?;
+    // Trace is optional; `-` is an explicit "no trace" placeholder so
+    // the later optional seq token can still occupy its slot.
     let trace = match parts.get(at + 6) {
+        Some(&"-") | None => TraceCtx::NONE,
         Some(t) => t
             .parse::<TraceCtx>()
             .map_err(|e| malformed(e.to_string()))?,
-        None => TraceCtx::NONE,
     };
-    if parts.len() > at + 7 {
-        return Err(malformed("trailing tokens after trace context"));
+    let seq = match parts.get(at + 7) {
+        Some(t) => decode_seq(t)?,
+        None => PacketSeq::NONE,
+    };
+    if parts.len() > at + 8 {
+        return Err(malformed("trailing tokens after sequence tag"));
     }
     let mut p = ContextPacket::new(
         type_name,
@@ -321,7 +344,23 @@ fn decode_packet(parts: &[&str], at: usize) -> Result<ContextPacket, WireError> 
     );
     p.hops = hops;
     p.trace = trace;
+    p.seq = seq;
     Ok(p)
+}
+
+fn decode_seq(text: &str) -> Result<PacketSeq, WireError> {
+    let (origin, n) = text
+        .split_once(':')
+        .ok_or(WireError::Malformed {
+            detail: "sequence tag must be origin:n".into(),
+        })?;
+    let origin = origin
+        .parse::<u64>()
+        .map_err(|_| WireError::BadNumber { what: "seq origin" })?;
+    let n = n
+        .parse::<u64>()
+        .map_err(|_| WireError::BadNumber { what: "seq number" })?;
+    Ok(PacketSeq { origin, n })
 }
 
 fn encode_packet(p: &ContextPacket) -> Result<String, WireError> {
@@ -336,9 +375,20 @@ fn encode_packet(p: &ContextPacket) -> Result<String, WireError> {
         p.source,
         encode_hops(&p.hops),
     );
-    if p.trace != TraceCtx::NONE {
+    // Optional trailing tokens, oldest first so legacy peers keep
+    // parsing: a seq tag forces the trace slot to be filled (`-` when
+    // untraced); a packet with neither stays on the legacy layout.
+    if p.trace != TraceCtx::NONE || p.seq.is_some() {
         line.push(' ');
-        line.push_str(&p.trace.to_string());
+        if p.trace == TraceCtx::NONE {
+            line.push('-');
+        } else {
+            line.push_str(&p.trace.to_string());
+        }
+    }
+    if p.seq.is_some() {
+        line.push(' ');
+        line.push_str(&p.seq.to_string());
     }
     Ok(line)
 }
@@ -605,6 +655,43 @@ mod tests {
             let line = r.encode().unwrap();
             assert_eq!(Response::decode(&line).unwrap(), r, "line: {line}");
         }
+    }
+
+    #[test]
+    fn sequence_tags_ride_behind_the_trace_slot() {
+        // seq with a trace: both tokens round-trip.
+        let traced = sample_packet()
+            .with_trace(TraceCtx::root(77, 0).child(9))
+            .with_seq(PacketSeq::new(41, 7));
+        let line = Request::Pub(traced.clone()).encode().unwrap();
+        assert_eq!(line.split_whitespace().count(), 9, "line: {line}");
+        assert_eq!(Request::decode(&line).unwrap(), Request::Pub(traced));
+
+        // seq without a trace: the trace slot is `-`, not skipped.
+        let untraced = sample_packet().with_seq(PacketSeq::new(41, 8));
+        let line = Request::Pub(untraced.clone()).encode().unwrap();
+        assert!(line.contains(" - 41:8"), "line: {line}");
+        assert_eq!(Request::decode(&line).unwrap(), Request::Pub(untraced));
+
+        // Malformed tags are typed errors.
+        assert_eq!(
+            Request::decode("PUB wind 1 0 5 src - - 41x8")
+                .unwrap_err()
+                .code(),
+            "malformed"
+        );
+        assert_eq!(
+            Request::decode("PUB wind 1 0 5 src - - a:8")
+                .unwrap_err()
+                .code(),
+            "bad_number"
+        );
+        assert_eq!(
+            Request::decode("PUB wind 1 0 5 src - - 1:2 extra")
+                .unwrap_err()
+                .code(),
+            "malformed"
+        );
     }
 
     #[test]

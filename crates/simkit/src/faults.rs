@@ -88,8 +88,13 @@ pub struct FaultEdge {
 pub struct FaultPlan {
     seed: u64,
     downtimes: BTreeMap<String, Vec<Downtime>>,
-    /// Per-target count of flap() calls, for derived-stream seeding.
+    /// Per-target count of flap_random() calls, for derived-stream seeding.
     flap_calls: BTreeMap<String, u64>,
+    /// Instants at which a crash-restarted target comes back up with
+    /// empty state (as opposed to a transparent outage healing).
+    restarts: BTreeMap<String, Vec<SimTime>>,
+    /// Per-link lossy-delivery models, keyed by link label.
+    links: BTreeMap<String, LinkFault>,
 }
 
 fn fnv1a(text: &str) -> u64 {
@@ -110,6 +115,8 @@ impl FaultPlan {
             seed,
             downtimes: BTreeMap::new(),
             flap_calls: BTreeMap::new(),
+            restarts: BTreeMap::new(),
+            links: BTreeMap::new(),
         }
     }
 
@@ -148,6 +155,108 @@ impl FaultPlan {
         self
     }
 
+    /// Scripts a crash-*restart*: `target` crashes at `at`, stays dark
+    /// for `down_for`, then comes back up **with empty state**. The
+    /// recovery instant is recorded separately from ordinary outage
+    /// healing so harnesses can distinguish "the link came back" (state
+    /// intact) from "the process restarted" (state wiped, recovery
+    /// protocol must run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down_for` is zero.
+    pub fn crash_restart(
+        &mut self,
+        target: &str,
+        at: SimTime,
+        down_for: SimDuration,
+    ) -> &mut Self {
+        assert!(!down_for.is_zero(), "crash_restart requires non-zero downtime");
+        let back = at + down_for;
+        self.down_between(target, at, back);
+        let slot = self.restarts.entry(target.to_owned()).or_default();
+        slot.push(back);
+        slot.sort();
+        slot.dedup();
+        self
+    }
+
+    /// Instants at which `target` restarts with empty state (sorted).
+    /// Empty for targets without a [`FaultPlan::crash_restart`] script.
+    pub fn restarts(&self, target: &str) -> Vec<SimTime> {
+        self.restarts.get(target).cloned().unwrap_or_default()
+    }
+
+    /// Attaches a lossy-delivery model to the link labelled `label`
+    /// (e.g. `"link:0->1"`). Later calls for the same label replace the
+    /// earlier model. Links not configured here are perfect.
+    pub fn lossy_link(&mut self, label: &str, fault: LinkFault) -> &mut Self {
+        self.links.insert(label.to_owned(), fault);
+        self
+    }
+
+    /// The lossy-delivery model scripted for `label`, if any.
+    pub fn link_fault(&self, label: &str) -> Option<LinkFault> {
+        self.links.get(label).copied()
+    }
+
+    /// All link labels with a scripted lossy-delivery model.
+    pub fn link_labels(&self) -> Vec<&str> {
+        self.links.keys().map(String::as_str).collect()
+    }
+
+    /// A runtime chaos stream for the link labelled `label`, or `None`
+    /// when the link has no scripted fault model. The stream is derived
+    /// from `(plan seed, label)` only, so two runs of the same plan make
+    /// identical per-link decisions regardless of other links.
+    pub fn link_chaos(&self, label: &str) -> Option<LinkChaos> {
+        self.link_fault(label)
+            .map(|fault| LinkChaos::new(self.seed, label, fault))
+    }
+
+    /// Scripts a deterministic square-wave outage pattern over
+    /// `[from, until)`: each `period` starts with an up phase of
+    /// `duty * period` followed by a down phase filling the rest, so
+    /// `duty` is the fraction of each period the target is reachable.
+    /// No randomness is involved — chaos scenarios and the fig5 suite
+    /// use this instead of hand-scheduling kill/revive pairs.
+    ///
+    /// `duty` is clamped to `[0, 1]`; `duty >= 1` scripts nothing and
+    /// `duty <= 0` scripts one solid outage over the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= until` or `period` is zero.
+    pub fn flap(
+        &mut self,
+        target: &str,
+        from: SimTime,
+        until: SimTime,
+        period: SimDuration,
+        duty: f64,
+    ) -> &mut Self {
+        assert!(from < until, "flap requires from < until");
+        assert!(!period.is_zero(), "flap requires a non-zero period");
+        let duty = if duty.is_finite() { duty.clamp(0.0, 1.0) } else { 1.0 };
+        let up_len = SimDuration::from_micros((period.as_micros() as f64 * duty) as u64);
+        let mut t = from;
+        while t < until {
+            let down_start = (t + up_len).min(until);
+            let down_end = (t + period).min(until);
+            if down_end > down_start {
+                self.downtimes
+                    .entry(target.to_owned())
+                    .or_default()
+                    .push(Downtime {
+                        start: down_start,
+                        end: Some(down_end),
+                    });
+            }
+            t = t + period;
+        }
+        self
+    }
+
     /// Scripts probabilistic link flapping over `[from, until)`:
     /// alternating up/down phases with exponentially distributed
     /// durations of the given means, starting up. The phase boundaries
@@ -159,7 +268,7 @@ impl FaultPlan {
     /// # Panics
     ///
     /// Panics if `from >= until` or either mean duration is zero.
-    pub fn flap(
+    pub fn flap_random(
         &mut self,
         target: &str,
         from: SimTime,
@@ -167,10 +276,10 @@ impl FaultPlan {
         mean_up: SimDuration,
         mean_down: SimDuration,
     ) -> &mut Self {
-        assert!(from < until, "flap requires from < until");
+        assert!(from < until, "flap_random requires from < until");
         assert!(
             !mean_up.is_zero() && !mean_down.is_zero(),
-            "flap requires non-zero mean phase durations"
+            "flap_random requires non-zero mean phase durations"
         );
         let call = self.flap_calls.entry(target.to_owned()).or_insert(0);
         let stream = self
@@ -298,6 +407,134 @@ impl FaultPlan {
             }
         }
         total
+    }
+}
+
+/// A per-link lossy-delivery model: probabilistic drop, duplication,
+/// bounded reorder and delay jitter. Probabilities are integer
+/// parts-per-million so decisions are float-free and exactly portable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Probability (ppm) that a send is silently dropped.
+    pub drop_ppm: u32,
+    /// Probability (ppm) that a send is delivered twice.
+    pub dup_ppm: u32,
+    /// Probability (ppm) that a send is pushed behind later traffic by
+    /// `reorder_delay`.
+    pub reorder_ppm: u32,
+    /// Extra latency added to reordered (and duplicate) copies — the
+    /// bound on how far a packet can fall behind.
+    pub reorder_delay: SimDuration,
+    /// Uniform extra delay in `[0, jitter]` added to every delivery.
+    pub jitter: SimDuration,
+}
+
+impl LinkFault {
+    /// A perfect link: nothing dropped, duplicated, reordered or
+    /// delayed.
+    pub const NONE: LinkFault = LinkFault {
+        drop_ppm: 0,
+        dup_ppm: 0,
+        reorder_ppm: 0,
+        reorder_delay: SimDuration::ZERO,
+        jitter: SimDuration::ZERO,
+    };
+
+    /// Whether this model can perturb traffic at all.
+    pub fn is_noop(&self) -> bool {
+        self.drop_ppm == 0 && self.dup_ppm == 0 && self.reorder_ppm == 0 && self.jitter.is_zero()
+    }
+}
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        LinkFault::NONE
+    }
+}
+
+/// Counters for what a [`LinkChaos`] stream actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Sends pushed through the link (before any perturbation).
+    pub sent: u64,
+    /// Sends silently dropped.
+    pub dropped: u64,
+    /// Sends delivered twice.
+    pub duplicated: u64,
+    /// Sends pushed behind later traffic by the reorder delay.
+    pub reordered: u64,
+    /// Sends that picked up non-zero jitter.
+    pub delayed: u64,
+}
+
+/// A runtime per-link chaos stream: owns a [`DetRng`] derived from
+/// `(seed, link label)` and turns each send into zero or more delivery
+/// copies with extra delays. Every decision consumes a *fixed* number
+/// of draws, so the stream stays aligned no matter which outcomes fire
+/// — a prerequisite for byte-identical transcripts per seed.
+#[derive(Clone, Debug)]
+pub struct LinkChaos {
+    fault: LinkFault,
+    rng: DetRng,
+    stats: LinkStats,
+}
+
+const LINK_SALT: u64 = 0x11A6_C7A0_5EED_0C11;
+
+impl LinkChaos {
+    /// A stream for the link labelled `label`, derived from `seed` and
+    /// the label only (independent of construction order).
+    pub fn new(seed: u64, label: &str, fault: LinkFault) -> Self {
+        LinkChaos {
+            fault,
+            rng: DetRng::derive(seed, LINK_SALT ^ fnv1a(label)),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The model this stream applies.
+    pub fn fault(&self) -> LinkFault {
+        self.fault
+    }
+
+    /// What the stream has done so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Decides the fate of one send: the returned vector holds one
+    /// extra-delay per delivery copy — empty means the send was
+    /// dropped, two entries mean it was duplicated. Consumes exactly
+    /// four draws regardless of outcome.
+    pub fn decide(&mut self) -> Vec<SimDuration> {
+        self.stats.sent += 1;
+        let drop_draw = self.rng.range_u64(0, 1_000_000);
+        let dup_draw = self.rng.range_u64(0, 1_000_000);
+        let reorder_draw = self.rng.range_u64(0, 1_000_000);
+        let jitter_us = if self.fault.jitter.is_zero() {
+            let _ = self.rng.next_u64(); // keep the draw count fixed
+            0
+        } else {
+            self.rng.range_u64(0, self.fault.jitter.as_micros() + 1)
+        };
+        if drop_draw < u64::from(self.fault.drop_ppm) {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        let mut delay = SimDuration::from_micros(jitter_us);
+        if jitter_us > 0 {
+            self.stats.delayed += 1;
+        }
+        if reorder_draw < u64::from(self.fault.reorder_ppm) {
+            self.stats.reordered += 1;
+            delay = delay + self.fault.reorder_delay;
+        }
+        let mut copies = vec![delay];
+        if dup_draw < u64::from(self.fault.dup_ppm) {
+            self.stats.duplicated += 1;
+            copies.push(delay + self.fault.reorder_delay);
+        }
+        copies
     }
 }
 
@@ -496,7 +733,7 @@ mod tests {
     fn edges_and_is_up_agree() {
         let mut p = FaultPlan::new(7);
         p.down_between("x", secs(5), secs(8));
-        p.flap(
+        p.flap_random(
             "x",
             secs(10),
             secs(200),
@@ -522,31 +759,31 @@ mod tests {
     }
 
     #[test]
-    fn flap_is_deterministic_and_target_independent() {
+    fn flap_random_is_deterministic_and_target_independent() {
         let build = |order_swapped: bool| {
             let mut p = FaultPlan::new(99);
             let win = (secs(0), secs(1_000));
             let up = SimDuration::from_secs(30);
             let down = SimDuration::from_secs(15);
             if order_swapped {
-                p.flap("b", win.0, win.1, up, down);
-                p.flap("a", win.0, win.1, up, down);
+                p.flap_random("b", win.0, win.1, up, down);
+                p.flap_random("a", win.0, win.1, up, down);
             } else {
-                p.flap("a", win.0, win.1, up, down);
-                p.flap("b", win.0, win.1, up, down);
+                p.flap_random("a", win.0, win.1, up, down);
+                p.flap_random("b", win.0, win.1, up, down);
             }
             (p.edges("a"), p.edges("b"))
         };
         let (a1, b1) = build(false);
         let (a2, b2) = build(true);
-        assert_eq!(a1, a2, "flap schedule depends on build order");
-        assert_eq!(b1, b2, "flap schedule depends on build order");
-        assert!(!a1.is_empty(), "flap produced no edges over 1000s");
+        assert_eq!(a1, a2, "flap_random schedule depends on build order");
+        assert_eq!(b1, b2, "flap_random schedule depends on build order");
+        assert!(!a1.is_empty(), "flap_random produced no edges over 1000s");
         assert_ne!(a1, b1, "distinct targets should flap independently");
 
         // And a different seed gives a different timeline.
         let mut other = FaultPlan::new(100);
-        other.flap(
+        other.flap_random(
             "a",
             secs(0),
             secs(1_000),
@@ -554,6 +791,112 @@ mod tests {
             SimDuration::from_secs(15),
         );
         assert_ne!(a1, other.edges("a"));
+    }
+
+    #[test]
+    fn square_wave_flap_is_exact() {
+        let mut p = FaultPlan::new(1);
+        // 10 s period, 60 % duty: up [0,6), down [6,10), repeating.
+        p.flap("x", secs(0), secs(25), SimDuration::from_secs(10), 0.6);
+        assert_eq!(
+            p.edges("x"),
+            vec![
+                FaultEdge { at: secs(6), up: false },
+                FaultEdge { at: secs(10), up: true },
+                FaultEdge { at: secs(16), up: false },
+                FaultEdge { at: secs(20), up: true },
+            ]
+        );
+        // The final period is clipped by the window: up [20,25) only.
+        assert!(p.is_up("x", secs(24)));
+        // duty is seed-independent and build-order independent.
+        let mut q = FaultPlan::new(777);
+        q.flap("x", secs(0), secs(25), SimDuration::from_secs(10), 0.6);
+        assert_eq!(p.edges("x"), q.edges("x"));
+        // Degenerate duties.
+        let mut full = FaultPlan::new(1);
+        full.flap("y", secs(0), secs(30), SimDuration::from_secs(10), 1.0);
+        assert!(full.edges("y").is_empty());
+        let mut none = FaultPlan::new(1);
+        none.flap("y", secs(0), secs(30), SimDuration::from_secs(10), 0.0);
+        assert_eq!(
+            none.downtime_within("y", secs(0), secs(30)),
+            SimDuration::from_secs(30)
+        );
+    }
+
+    #[test]
+    fn crash_restart_records_recovery_instants() {
+        let mut p = FaultPlan::new(5);
+        p.crash_restart("broker:2", secs(10), SimDuration::from_secs(8));
+        assert!(p.is_up("broker:2", secs(9)));
+        assert!(!p.is_up("broker:2", secs(12)));
+        assert!(p.is_up("broker:2", secs(18)));
+        assert_eq!(p.restarts("broker:2"), vec![secs(18)]);
+        assert_eq!(p.restarts("broker:0"), Vec::<SimTime>::new());
+        // A plain outage heals without a restart record.
+        p.down_between("broker:2", secs(30), secs(40));
+        assert_eq!(p.restarts("broker:2"), vec![secs(18)]);
+    }
+
+    #[test]
+    fn link_chaos_streams_are_seeded_per_label() {
+        let fault = LinkFault {
+            drop_ppm: 200_000,
+            dup_ppm: 100_000,
+            reorder_ppm: 150_000,
+            reorder_delay: SimDuration::from_millis(40),
+            jitter: SimDuration::from_millis(10),
+        };
+        let mut p = FaultPlan::new(42);
+        p.lossy_link("link:0->1", fault);
+        p.lossy_link("link:1->0", fault);
+        assert_eq!(p.link_fault("link:0->1"), Some(fault));
+        assert_eq!(p.link_fault("link:9->9"), None);
+        assert!(p.link_chaos("link:9->9").is_none());
+        assert_eq!(p.link_labels(), vec!["link:0->1", "link:1->0"]);
+
+        let run = |label: &str| {
+            let mut c = p.link_chaos(label).expect("configured link");
+            (0..2_000).map(|_| c.decide()).collect::<Vec<_>>()
+        };
+        // Same label replays identically; different labels diverge.
+        assert_eq!(run("link:0->1"), run("link:0->1"));
+        assert_ne!(run("link:0->1"), run("link:1->0"));
+
+        // Observed rates land near the configured ppm.
+        let mut c = p.link_chaos("link:0->1").expect("configured link");
+        for _ in 0..10_000 {
+            let copies = c.decide();
+            assert!(copies.len() <= 2);
+            for d in &copies {
+                assert!(
+                    *d <= fault.jitter + fault.reorder_delay + fault.reorder_delay,
+                    "delay beyond the configured bound"
+                );
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.sent, 10_000);
+        let near = |got: u64, ppm: u64| {
+            let want = ppm * s.sent / 1_000_000;
+            got > want / 2 && got < want * 2
+        };
+        assert!(near(s.dropped, 200_000), "dropped={}", s.dropped);
+        assert!(near(s.duplicated, 100_000), "duplicated={}", s.duplicated);
+        assert!(near(s.reordered, 150_000), "reordered={}", s.reordered);
+        assert!(s.delayed > 0);
+    }
+
+    #[test]
+    fn noop_link_fault_delivers_exactly_once_undelayed() {
+        let mut c = LinkChaos::new(7, "link:a", LinkFault::NONE);
+        assert!(LinkFault::NONE.is_noop());
+        for _ in 0..100 {
+            assert_eq!(c.decide(), vec![SimDuration::ZERO]);
+        }
+        let s = c.stats();
+        assert_eq!((s.dropped, s.duplicated, s.reordered, s.delayed), (0, 0, 0, 0));
     }
 
     #[test]

@@ -33,11 +33,17 @@ pub enum Stage {
     Gossip,
     /// The packet reached a subscriber endpoint.
     Deliver,
+    /// A federation forward was re-sent after an ack timeout.
+    Retry,
+    /// The dedup window suppressed an already-seen sequence number.
+    DupSuppress,
+    /// A crashed broker came back up and re-entered the federation.
+    Recover,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Publish,
         Stage::Admit,
         Stage::Shed,
@@ -46,6 +52,9 @@ impl Stage {
         Stage::Federate,
         Stage::Gossip,
         Stage::Deliver,
+        Stage::Retry,
+        Stage::DupSuppress,
+        Stage::Recover,
     ];
 
     /// Stable snake_case name (export vocabulary).
@@ -59,6 +68,9 @@ impl Stage {
             Stage::Federate => "federate",
             Stage::Gossip => "gossip",
             Stage::Deliver => "deliver",
+            Stage::Retry => "retry",
+            Stage::DupSuppress => "dup_suppress",
+            Stage::Recover => "recover",
         }
     }
 
@@ -75,8 +87,9 @@ impl Stage {
             Stage::Admit | Stage::Shed => 1,
             Stage::Enqueue => 2,
             Stage::Dispatch => 3,
-            Stage::Federate | Stage::Gossip => 4,
+            Stage::Federate | Stage::Gossip | Stage::Retry | Stage::Recover => 4,
             Stage::Deliver => 5,
+            Stage::DupSuppress => 1,
         }
     }
 }

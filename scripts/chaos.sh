@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# chaoskit subsystem gate: lossy-link chaos, crash-recovery and
+# idempotent federation proven end to end (DESIGN.md §5j).
+#
+#   ./scripts/chaos.sh
+#
+# 1. the link-chaos unit suite in simkit — per-link deterministic RNG
+#    streams, drop/dup/reorder/jitter draws, crash-restart edges and
+#    the square-wave flap helper;
+# 2. the dedup-window unit suite — exactly-once filtering on an
+#    at-least-once stream, bounded-window suppression, origin eviction;
+# 3. the broker chaos suite — sequence-numbered idempotent admission,
+#    forward retry/backoff/exhaustion, lease renewal, anti-entropy
+#    directory absorption, restart recovery (node + fleet harnesses);
+# 4. the chaos property tests — the dedup window never double-delivers
+#    under duplication + reorder, restart + renewal loses no
+#    subscription, chaos transcripts are byte-identical across engine
+#    partitionings;
+# 5. the hardened wire surface — mid-frame disconnects and idle reads
+#    surface as typed outcomes, never hangs, duplicate publishes are
+#    positively acked over TCP.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> link-chaos + fault-plan unit suite (simkit)"
+cargo test -q --release -p contory-simkit --lib faults::
+
+echo "==> dedup-window unit suite (brokerd)"
+cargo test -q --release -p contory-brokerd --lib dedup::
+
+echo "==> broker chaos suite (node + fleet: retry, renewal, restart)"
+cargo test -q --release -p contory-brokerd --lib node::
+cargo test -q --release -p contory-brokerd --lib fleet::
+
+echo "==> chaos property tests (idempotence, recovery, invariance)"
+cargo test -q --release --test proptests dedup_never_double_delivers
+cargo test -q --release --test proptests restart_plus_renewal
+cargo test -q --release --test proptests chaos_transcripts
+
+echo "==> hardened wire surface (typed mid-frame disconnects, dup acks)"
+cargo test -q --release -p contory-brokerd --lib net::
+
+echo "==> chaos: OK"

@@ -30,9 +30,15 @@
 #    assembly property tests, golden JSONL/break-up schemas, fleet
 #    trace partition invariance and the STATS/TRACE ops surface
 #    (scripts/trace.sh, DESIGN.md §5i);
-# 9. the bench gate: bench_all re-runs the whole §6 suite (now
-#    including scale_city at 100k devices and broker_load at 10k
-#    devices over 4 brokers), rewrites results/*.txt +
+# 9. the chaos gate: the chaoskit layer — lossy-link chaos streams,
+#    the dedup window's exactly-once filter, forward retry/backoff,
+#    crash-restart recovery with lease renewal + anti-entropy, the
+#    chaos property tests and the hardened wire surface
+#    (scripts/chaos.sh, DESIGN.md §5j);
+# 10. the bench gate: bench_all re-runs the whole §6 suite (now
+#    including scale_city at 100k devices, broker_load at 10k devices
+#    over 4 brokers, and broker_chaos at 10k devices under lossy
+#    links with a mid-run crash-restart), rewrites results/*.txt +
 #    BENCH_contory.json, and diffs every pinned metric against the
 #    results/baseline.json tolerance bands (DESIGN.md §5e).
 set -eu
@@ -67,6 +73,9 @@ echo "==> broker gate (brokerd in all three harnesses, DESIGN.md 5h)"
 
 echo "==> trace gate (tracekit causal tracing plane, DESIGN.md 5i)"
 ./scripts/trace.sh
+
+echo "==> chaos gate (lossy links, crash-recovery, idempotence, DESIGN.md 5j)"
+./scripts/chaos.sh
 
 echo "==> bench gate (full 6 suite vs results/baseline.json bands)"
 cargo run -q --release -p contory-bench --bin bench_all -- --check

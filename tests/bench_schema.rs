@@ -20,7 +20,7 @@ fn read_repo_file(rel: &str) -> String {
 
 /// The eight §6 regenerators plus the partitioned-engine scale
 /// scenarios, in the fixed export order `bench_all` uses.
-const SCENARIOS: [&str; 10] = [
+const SCENARIOS: [&str; 11] = [
     "table1_latency",
     "table2_energy",
     "idle_power",
@@ -31,6 +31,7 @@ const SCENARIOS: [&str; 10] = [
     "ablation_merging",
     "scale_city",
     "broker_load",
+    "broker_chaos",
 ];
 
 #[test]

@@ -401,7 +401,7 @@ fn flapping_link_scenario(seed: u64, shards: u32) -> String {
         publish_wind(&tb, &provider, SimDuration::from_secs(10));
 
         let mut plan = FaultPlan::new(seed);
-        plan.flap(
+        plan.flap_random(
             "bt:req",
             SimTime::from_secs(60),
             SimTime::from_secs(360),

@@ -1,8 +1,14 @@
 //! Cross-crate property-based tests (proptest): invariants of the query
 //! language, query merging, statistics, traces, the XML codec, NMEA,
-//! the event windows, the fault-injection/failover machinery, and the
-//! partitioned engine's `(time, actor, seq)` merge.
+//! the event windows, the fault-injection/failover machinery, the
+//! partitioned engine's `(time, actor, seq)` merge, and the brokerd
+//! chaos layer (dedup idempotence, restart recovery, chaos-transcript
+//! partition invariance).
 
+use brokerd::{
+    fault_edges, link_faults, link_label, restart_edges, run_fleet, BrokerId, BrokerNode,
+    DedupWindow, FleetConfig, NodeConfig, PacketSeq, SubMode,
+};
 use contory::backoff::BackoffPolicy;
 use contory::merge::{post_extract, try_merge};
 use contory::policy::Condition;
@@ -241,6 +247,52 @@ fn run_plan(plan: &[PlanRoot], shards: u32, threads: u32) -> (Vec<Vec<u32>>, u64
         sim.messages_delivered(),
         sim.dead_letters(),
     )
+}
+
+// ------------------------------------------------------------------
+// Brokerd chaos helpers
+// ------------------------------------------------------------------
+
+/// A small chaotic broker fleet: every federation link lossy, one
+/// broker crash-restarted mid-run, short leases with renewal. The crash
+/// downtime (3 s) exceeds the forward-retry horizon (~2.25 s at the
+/// default 150 ms timeout × 4 attempts), matching the `broker_chaos`
+/// scenario's sizing rule.
+fn chaos_fleet(seed: u64, shards: u32, threads: u32) -> FleetConfig {
+    let mut plan = simkit::FaultPlan::new(seed);
+    let fault = simkit::faults::LinkFault {
+        drop_ppm: 70_000,
+        dup_ppm: 60_000,
+        reorder_ppm: 50_000,
+        reorder_delay: SimDuration::from_millis(40),
+        jitter: SimDuration::from_millis(15),
+    };
+    let brokers = 3u16;
+    for a in 0..brokers {
+        for b in 0..brokers {
+            if a != b {
+                plan.lossy_link(&link_label(a, b), fault);
+            }
+        }
+    }
+    plan.crash_restart("broker:1", SimTime::from_secs(5), SimDuration::from_secs(3));
+    let mut cfg = FleetConfig {
+        seed,
+        brokers,
+        devices: 48,
+        shards,
+        threads,
+        run_for: SimDuration::from_secs(16),
+        ..FleetConfig::default()
+    };
+    cfg.node.fwd_attempts = 4;
+    cfg.fault_edges = fault_edges(&plan, brokers);
+    cfg.restarts = restart_edges(&plan, brokers);
+    cfg.link_faults = link_faults(&plan, brokers);
+    cfg.chaos_until = Some(SimTime::from_secs(12));
+    cfg.sub_lease = Some(SimDuration::from_secs(8));
+    cfg.resub_every = Some(SimDuration::from_secs(4));
+    cfg
 }
 
 // ------------------------------------------------------------------
@@ -675,6 +727,132 @@ proptest! {
                 sharded == reference,
                 "{shards} shards x {threads} threads diverged from sequential"
             );
+        }
+    }
+
+    /// The dedup window is an exactly-once filter on an at-least-once
+    /// stream: for any schedule of duplicated, arbitrarily reordered
+    /// in-window packets, no `(origin, n)` is ever admitted twice, and
+    /// none is lost — first copy `Fresh`, every other copy `Duplicate`.
+    #[test]
+    fn dedup_never_double_delivers_under_duplication_and_reorder(
+        stream in proptest::collection::vec((0u64..6, 0u64..120), 1..250),
+    ) {
+        use std::collections::BTreeMap;
+        let mut win = DedupWindow::new(8);
+        let mut fresh_seen: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+        for &(origin, n) in &stream {
+            let seq = PacketSeq::new(origin, n + 1);
+            let was_seen = win.seen(seq);
+            let verdict = win.observe(seq);
+            // seen() is the pure preview of observe()'s verdict.
+            prop_assert_eq!(was_seen, verdict == brokerd::SeqVerdict::Duplicate);
+            if verdict == brokerd::SeqVerdict::Fresh {
+                *fresh_seen.entry((origin, n)).or_insert(0) += 1;
+            }
+        }
+        // Never twice…
+        for (&(origin, n), &count) in &fresh_seen {
+            prop_assert!(
+                count <= 1,
+                "({origin}, {n}) admitted {count} times — double delivery"
+            );
+        }
+        // …and, because every n fits inside SEQ_WINDOW, never lost.
+        let mut distinct: Vec<(u64, u64)> = stream.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        // An unequal count here means an in-window packet was lost.
+        prop_assert_eq!(fresh_seen.len(), distinct.len());
+        prop_assert_eq!(win.admitted() + win.suppressed(), stream.len() as u64);
+    }
+
+    /// Crash recovery loses no subscription: renewing every lease of a
+    /// wiped broker rebuilds the full table — in *any* renewal order
+    /// the live set comes back complete without stacking duplicates,
+    /// and replaying the original order reproduces the pre-crash
+    /// anti-entropy digest bit for bit.
+    #[test]
+    fn restart_plus_renewal_loses_no_subscription(
+        subs in proptest::collection::vec((0u64..40, 0u8..12, 0u8..3), 1..30),
+        lease_secs in 30u64..600,
+    ) {
+        let now = SimTime::from_secs(10);
+        let expiry = SimTime::from_secs(10 + lease_secs);
+        let mode_of = |tag: u8| match tag {
+            0 => SubMode::Event,
+            1 => SubMode::OneShot,
+            _ => SubMode::Periodic(SimDuration::from_secs(30)),
+        };
+        let mut before = BrokerNode::new(BrokerId(0), NodeConfig::default());
+        for &(subscriber, ty, tag) in &subs {
+            before.subscribe_renewing(
+                subscriber,
+                &format!("ctx{ty}"),
+                mode_of(tag),
+                expiry,
+                now,
+            );
+        }
+        let pre_digest = before.table_digest();
+        let pre_count = before.subscriptions();
+        let mut distinct = subs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(pre_count, distinct.len());
+
+        // The crash: a brand-new node with empty tables. Devices renew
+        // every lease they hold in a scrambled order; the live set must
+        // come back complete, with first renewals re-registering
+        // (renewed = false) and repeats extending idempotently.
+        let mut scrambled = BrokerNode::new(BrokerId(0), NodeConfig::default());
+        let mut renewals = subs.clone();
+        renewals.sort_by_key(|&(s, ty, tag)| (u64::from(ty) << 32) ^ s ^ u64::from(tag));
+        let mut seen: Vec<(u64, u8, u8)> = Vec::new();
+        for &(subscriber, ty, tag) in &renewals {
+            let (_, renewed) = scrambled.subscribe_renewing(
+                subscriber,
+                &format!("ctx{ty}"),
+                mode_of(tag),
+                expiry,
+                now,
+            );
+            prop_assert_eq!(renewed, seen.contains(&(subscriber, ty, tag)));
+            seen.push((subscriber, ty, tag));
+        }
+        prop_assert_eq!(scrambled.subscriptions(), pre_count);
+
+        // Replaying the renewals in the original order reproduces the
+        // pre-crash digest exactly — the anti-entropy convergence
+        // witness a healed fleet's directory agrees on.
+        let mut replayed = BrokerNode::new(BrokerId(0), NodeConfig::default());
+        for &(subscriber, ty, tag) in &subs {
+            replayed.subscribe_renewing(
+                subscriber,
+                &format!("ctx{ty}"),
+                mode_of(tag),
+                expiry,
+                now,
+            );
+        }
+        prop_assert_eq!(replayed.subscriptions(), pre_count);
+        prop_assert_eq!(replayed.table_digest(), pre_digest);
+    }
+
+    /// Chaos is partition-invariant: for any seed, the chaotic fleet's
+    /// full report — link-fault counters, retries, dedup suppressions,
+    /// restart recovery and all — is byte-identical across {1,4} engine
+    /// shards times {1,4} worker threads, trace digest included.
+    #[test]
+    fn chaos_transcripts_are_identical_across_partitionings(seed in 0u64..100_000) {
+        let reference = run_fleet(&chaos_fleet(seed, 1, 1));
+        for (shards, threads) in [(1u32, 4u32), (4, 1), (4, 4)] {
+            let got = run_fleet(&chaos_fleet(seed, shards, threads));
+            prop_assert!(
+                got.report() == reference.report(),
+                "chaos transcript diverged at {shards} shards x {threads} threads"
+            );
+            prop_assert_eq!(got.trace_digest, reference.trace_digest);
         }
     }
 }
